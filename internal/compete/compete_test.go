@@ -1,0 +1,176 @@
+package compete
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+func TestSoloContenderWins(t *testing.T) {
+	var pr Pair
+	p := shmem.NewProc(0, 7, nil)
+	if !Compete(p, &pr, p.Name()) {
+		t.Fatal("solo contender must win a fresh pair")
+	}
+	if pr.LastClaim() != 7 {
+		t.Fatalf("last claim = %d, want 7", pr.LastClaim())
+	}
+	if p.Steps() != 5 {
+		t.Fatalf("solo win took %d steps, want 5", p.Steps())
+	}
+}
+
+func TestLoserSpoilsPairForLaterSolo(t *testing.T) {
+	// Documented behaviour: once any contender has touched the pair, a later
+	// solo contender may lose. Here the first contender wins, the second must
+	// lose immediately.
+	var pr Pair
+	p0 := shmem.NewProc(0, 1, nil)
+	p1 := shmem.NewProc(1, 2, nil)
+	if !Compete(p0, &pr, 1) {
+		t.Fatal("first solo contender must win")
+	}
+	if Compete(p1, &pr, 2) {
+		t.Fatal("second contender won an already-won pair")
+	}
+	if p1.Steps() != 1 {
+		t.Fatalf("immediate exit took %d steps, want 1", p1.Steps())
+	}
+}
+
+func TestCompetePanicsOnNullIdentity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for null identity")
+		}
+	}()
+	var pr Pair
+	Compete(shmem.NewProc(0, 1, nil), &pr, shmem.Null)
+}
+
+// exclusivityUnderSchedule runs k contenders over one pair under the given
+// policy seed and asserts at most one winner, returning the number of
+// winners.
+func exclusivityUnderSchedule(t *testing.T, k int, seed uint64) int {
+	t.Helper()
+	var pr Pair
+	won := make([]bool, k)
+	res := sched.Run(k, nil, sched.NewRandom(seed), nil, func(p *shmem.Proc) {
+		won[p.ID()] = Compete(p, &pr, p.Name())
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	winners := 0
+	for _, w := range won {
+		if w {
+			winners++
+		}
+	}
+	if winners > 1 {
+		t.Fatalf("%d winners under seed %d, exclusiveness violated", winners, seed)
+	}
+	return winners
+}
+
+func TestExclusiveWinsAcrossSchedules(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 16, 64} {
+		for seed := uint64(0); seed < 50; seed++ {
+			exclusivityUnderSchedule(t, k, seed)
+		}
+	}
+}
+
+func TestExclusiveWinsUnderCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		var pr Pair
+		won := make([]bool, 6)
+		res := sched.Run(6, nil, sched.NewRandom(seed),
+			sched.RandomCrashes(seed+1000, 0.1, 5),
+			func(p *shmem.Proc) {
+				won[p.ID()] = Compete(p, &pr, p.Name())
+			})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		winners := 0
+		for _, w := range won {
+			if w {
+				winners++
+			}
+		}
+		if winners > 1 {
+			t.Fatalf("%d winners with crashes, seed %d", winners, seed)
+		}
+	}
+}
+
+func TestExclusiveWinsConcurrent(t *testing.T) {
+	// Free-running goroutines under the race detector.
+	for trial := 0; trial < 50; trial++ {
+		var pr Pair
+		won := make([]bool, 8)
+		res := sched.RunFree(8, nil, func(p *shmem.Proc) {
+			won[p.ID()] = Compete(p, &pr, p.Name())
+		})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		winners := 0
+		for _, w := range won {
+			if w {
+				winners++
+			}
+		}
+		if winners > 1 {
+			t.Fatalf("%d winners in concurrent trial %d", winners, trial)
+		}
+	}
+}
+
+func TestAdversarialInterleavingNoWinner(t *testing.T) {
+	// Classic no-winner schedule: both processes read HR=null before either
+	// writes; then both write HR; the second write overwrites the first; the
+	// first process fails its final check, the second fails the R read.
+	var pr Pair
+	won := make([]bool, 2)
+	c := sched.NewController(2, nil, func(p *shmem.Proc) {
+		won[p.ID()] = Compete(p, &pr, p.Name())
+	})
+	// Step both through read-HR, then both through write-HR, then let them run.
+	c.Step(0) // p0 reads HR (null)
+	c.Step(1) // p1 reads HR (null)
+	c.Step(0) // p0 writes HR=1
+	c.Step(1) // p1 writes HR=2 (overwrites)
+	c.Run(&sched.RoundRobin{}, nil)
+	if won[0] && won[1] {
+		t.Fatal("both processes won")
+	}
+	// In this specific interleaving p0's final HR check sees 2, p0 can still
+	// have written R first... verify mutual exclusion held regardless.
+	winners := 0
+	for _, w := range won {
+		if w {
+			winners++
+		}
+	}
+	if winners > 1 {
+		t.Fatal("exclusiveness violated under adversarial interleaving")
+	}
+}
+
+func TestFieldAccounting(t *testing.T) {
+	f := NewField(10)
+	if f.Len() != 10 || f.Registers() != 20 {
+		t.Fatalf("Len=%d Registers=%d", f.Len(), f.Registers())
+	}
+	p := shmem.NewProc(0, 3, nil)
+	if !Compete(p, f.Pair(4), 3) {
+		t.Fatal("solo win failed")
+	}
+	w := f.Claimed()
+	if len(w) != 1 || w[4] != 3 {
+		t.Fatalf("Claimed = %v, want {4:3}", w)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestBasicStageCount(t *testing.T) {
+	// Lemma 5: ⌊lg k⌋+1 stages with halving contender bounds.
+	cases := []struct{ k, stages int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {8, 4}, {13, 4}, {16, 5},
+	}
+	for _, c := range cases {
+		b := NewBasic(c.k, 1<<10, Config{Seed: 1})
+		if got := b.Stages(); got != c.stages {
+			t.Fatalf("k=%d: %d stages, want %d", c.k, got, c.stages)
+		}
+		if want := bits.Len(uint(c.k)); b.Stages() != want {
+			t.Fatalf("k=%d: stage count %d != ⌊lg k⌋+1 = %d", c.k, b.Stages(), want)
+		}
+	}
+}
+
+func TestBasicEveryoneRenamed(t *testing.T) {
+	// Lemma 5: all k contenders acquire distinct names within M.
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		n := 1 << 12
+		for seed := uint64(0); seed < 10; seed++ {
+			b := NewBasic(k, n, Config{Seed: 1000 + seed})
+			run := driveRenamer(t, b, k, sampleOrigs(k, n, seed), seed, nil)
+			if len(run.failed) != 0 {
+				t.Fatalf("k=%d seed=%d: %d contenders failed all stages", k, seed, len(run.failed))
+			}
+			for pid, name := range run.names {
+				if name > b.MaxName() {
+					t.Fatalf("k=%d: process %d name %d > M=%d", k, pid, name, b.MaxName())
+				}
+			}
+			if got := run.res.MaxSteps(); got > b.MaxSteps() {
+				t.Fatalf("k=%d: steps %d exceed bound %d", k, got, b.MaxSteps())
+			}
+		}
+	}
+}
+
+func TestBasicStepBoundShape(t *testing.T) {
+	// O(log k · log N): the wait-free bound must grow roughly as the product,
+	// not faster. Compare doubling N at fixed k: bound grows by ~log factor.
+	k := 8
+	b1 := NewBasic(k, 1<<10, Config{Seed: 3})
+	b2 := NewBasic(k, 1<<20, Config{Seed: 3})
+	// lg N doubles, so the bound should grow by about 2x, certainly < 4x.
+	if b2.MaxSteps() > 4*b1.MaxSteps() {
+		t.Fatalf("step bound grew superlogarithmically: %d -> %d", b1.MaxSteps(), b2.MaxSteps())
+	}
+}
+
+func TestBasicRegisterShape(t *testing.T) {
+	// Lemma 5: r = O(k·log(N/k)); doubling k roughly doubles registers.
+	n := 1 << 16
+	r8 := NewBasic(8, n, Config{Seed: 4}).Registers()
+	r16 := NewBasic(16, n, Config{Seed: 4}).Registers()
+	if r16 > 3*r8 {
+		t.Fatalf("registers grew superlinearly in k: %d -> %d", r8, r16)
+	}
+}
+
+func TestBasicExclusivenessUnderCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		b := NewBasic(8, 1<<10, Config{Seed: seed + 70})
+		driveRenamer(t, b, 8, sampleOrigs(8, 1<<10, seed), seed,
+			sched.RandomCrashes(seed+11, 0.04, 7))
+	}
+}
+
+func TestBasicWaitFreedom(t *testing.T) {
+	// All but one crash at their first step: the survivor must finish.
+	b := NewBasic(8, 1<<10, Config{Seed: 77})
+	run := driveRenamer(t, b, 8, nil, 0, sched.CrashAllBut(5))
+	if _, ok := run.names[5]; !ok {
+		t.Fatal("survivor did not rename")
+	}
+}
+
+func TestBasicOverloadFailsCleanly(t *testing.T) {
+	// More contenders than k: failures allowed, exclusiveness must hold
+	// (driveRenamer asserts it), no panics.
+	b := NewBasic(2, 1<<10, Config{Seed: 5})
+	for seed := uint64(0); seed < 10; seed++ {
+		fresh := NewBasic(2, 1<<10, Config{Seed: 5 + seed})
+		driveRenamer(t, fresh, 12, sampleOrigs(12, 1<<10, seed), seed, nil)
+	}
+	_ = b
+}
+
+func TestBasicPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBasic(0, 10, Config{}) },
+		func() { NewBasic(4, 0, Config{}) },
+		func() { NewBasic(11, 10, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+// Package core implements the renaming algorithms that are the paper's
+// primary contribution (Section 3): Majority (Lemma 4), Basic-Rename
+// (Lemma 5), PolyLog-Rename (Theorem 1), Efficient-Rename (Theorem 2),
+// Almost-Adaptive (Theorem 3) and Adaptive-Rename (Theorem 4).
+//
+// All are one-shot, wait-free renaming objects over simulated read-write
+// shared memory: k processes holding distinct original names in [1..N]
+// acquire distinct new names in [1..M] for a smaller M. The central idea is
+// competition along expander neighborhoods — names are nodes of the output
+// side of a lossless expander, and a process competes (Figure 1) for each of
+// its Δ neighbors in turn; expansion guarantees a majority of contenders a
+// private node.
+//
+// Every object in this package is safe for its processes to use from
+// concurrent goroutines (all shared state lives in simulated registers) and
+// charges local steps per the paper's accounting.
+package core
+
+import (
+	"repro/internal/expander"
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// Renamer is a one-shot renaming object. Rename returns the acquired new
+// name (>= 1) and true, or 0 and false if this instance could not assign a
+// name (possible only when the instance's contention bound is exceeded, or —
+// for expander-based stages without a fallback — with the residual
+// probability of a sampled graph lacking the Lemma 3 property).
+type Renamer interface {
+	Rename(p *shmem.Proc, orig int64) (int64, bool)
+	// MaxName is the bound M on names this instance assigns in its intended
+	// operating regime (the quantity the paper's theorems bound).
+	MaxName() int64
+	// Registers is the number of shared registers the instance allocated
+	// (the paper's r).
+	Registers() int
+}
+
+// Config carries the construction parameters shared by all algorithms.
+type Config struct {
+	// Profile selects the expander constants (expander.Paper reproduces the
+	// Lemma 3 parameters verbatim; expander.Practical keeps sweeps small).
+	Profile expander.Profile
+	// Seed determinizes every sampled expander graph.
+	Seed uint64
+}
+
+// DefaultConfig is the configuration used when a zero Config is supplied:
+// the practical expander profile with a fixed seed.
+func DefaultConfig() Config {
+	return Config{Profile: expander.Practical, Seed: 0x9e3779b9}
+}
+
+// normalize fills in zero-value fields of a Config.
+func (c Config) normalize() Config {
+	if c.Profile.WidthFactor == 0 {
+		c.Profile = expander.Practical
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultConfig().Seed
+	}
+	return c
+}
+
+// subSeed derives a stream-separated seed for the tag-th subcomponent.
+func subSeed(seed uint64, tag uint64) uint64 {
+	return xrand.Mix(seed, 0x5eed0000+tag)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Renamer = (*Majority)(nil)
+	_ Renamer = (*Basic)(nil)
+	_ Renamer = (*PolyLog)(nil)
+	_ Renamer = (*Efficient)(nil)
+	_ Renamer = (*AlmostAdaptive)(nil)
+	_ Renamer = (*Adaptive)(nil)
+)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// renameRun is the outcome of driving k contenders through a Renamer.
+type renameRun struct {
+	names  map[int]int64 // pid -> new name, for successful non-crashed procs
+	failed []int         // pids that returned ok=false
+	res    sched.Result
+}
+
+// driveRenamer runs k contenders with the given distinct original names
+// through r under a seeded random schedule (and optional crash plan),
+// asserting name exclusiveness. A nil origs assigns names 1..k.
+func driveRenamer(t *testing.T, r Renamer, k int, origs []int64, seed uint64, plan sched.CrashPlan) renameRun {
+	t.Helper()
+	if origs == nil {
+		origs = make([]int64, k)
+		for i := range origs {
+			origs[i] = int64(i + 1)
+		}
+	}
+	got := make([]int64, k)
+	oks := make([]bool, k)
+	res := sched.Run(k, origs, sched.NewRandom(seed), plan, func(p *shmem.Proc) {
+		got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	run := renameRun{names: make(map[int]int64), res: res}
+	used := make(map[int64]int)
+	for pid := 0; pid < k; pid++ {
+		if res.Crashed[pid] {
+			continue
+		}
+		if !oks[pid] {
+			run.failed = append(run.failed, pid)
+			continue
+		}
+		n := got[pid]
+		if n < 1 {
+			t.Fatalf("process %d acquired invalid name %d", pid, n)
+		}
+		if other, dup := used[n]; dup {
+			t.Fatalf("exclusiveness violated: name %d held by %d and %d (seed %d)", n, other, pid, seed)
+		}
+		used[n] = pid
+		run.names[pid] = n
+	}
+	return run
+}
+
+// sampleOrigs draws k distinct original names from [1..n].
+func sampleOrigs(k, n int, seed uint64) []int64 {
+	return xrand.New(seed).Sample(k, n)
+}
+
+// driveConcurrent runs the renamer under free-running goroutines and checks
+// exclusiveness; used for race coverage.
+func driveConcurrent(t *testing.T, r Renamer, k int, origs []int64) map[int]int64 {
+	t.Helper()
+	got := make([]int64, k)
+	oks := make([]bool, k)
+	res := sched.RunFree(k, origs, func(p *shmem.Proc) {
+		got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	names := make(map[int]int64)
+	used := make(map[int64]bool)
+	for pid := 0; pid < k; pid++ {
+		if !oks[pid] {
+			continue
+		}
+		if used[got[pid]] {
+			t.Fatalf("concurrent exclusiveness violated on name %d", got[pid])
+		}
+		used[got[pid]] = true
+		names[pid] = got[pid]
+	}
+	return names
+}

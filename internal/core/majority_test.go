@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expander"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+func TestMajorityLemma4Parameters(t *testing.T) {
+	// Paper profile must instantiate the Lemma 4 bounds: M = 12e⁴·ℓ·lg(N/ℓ)
+	// names, two registers per name, O(log N) steps.
+	l, n := 8, 1<<12
+	m := NewMajority(l, n, Config{Profile: expander.Paper, Seed: 5})
+	lg := math.Log2(float64(n) / float64(l))
+	wantM := int64(math.Ceil(12 * math.Pow(math.E, 4) * float64(l) * lg))
+	if m.MaxName() != wantM {
+		t.Fatalf("M = %d, want %d", m.MaxName(), wantM)
+	}
+	if m.Registers() != int(2*wantM) {
+		t.Fatalf("registers = %d, want %d", m.Registers(), 2*wantM)
+	}
+	wantSteps := int64(5 * int(math.Ceil(4*lg)))
+	if m.MaxSteps() != wantSteps {
+		t.Fatalf("MaxSteps = %d, want %d", m.MaxSteps(), wantSteps)
+	}
+}
+
+func TestMajorityRenamesAtLeastHalf(t *testing.T) {
+	// Lemma 4: at least half of <= ℓ contenders acquire names, under any
+	// schedule. Exercise a spread of ℓ and schedules.
+	for _, l := range []int{2, 4, 8, 16} {
+		n := 1 << 12
+		m := NewMajority(l, n, Config{Seed: 42})
+		for seed := uint64(0); seed < 20; seed++ {
+			inst := NewMajority(l, n, Config{Seed: 42 + seed}) // fresh registers per run
+			run := driveRenamer(t, inst, l, sampleOrigs(l, n, seed+99), seed, nil)
+			if 2*len(run.names) < l {
+				t.Fatalf("ℓ=%d seed=%d: only %d of %d renamed (< half)", l, seed, len(run.names), l)
+			}
+			if got := run.res.MaxSteps(); got > m.MaxSteps() {
+				t.Fatalf("ℓ=%d: max steps %d exceed wait-free bound %d", l, got, m.MaxSteps())
+			}
+		}
+	}
+}
+
+func TestMajorityNamesWithinRange(t *testing.T) {
+	l, n := 8, 1<<10
+	inst := NewMajority(l, n, Config{Seed: 7})
+	run := driveRenamer(t, inst, l, sampleOrigs(l, n, 3), 1, nil)
+	for pid, name := range run.names {
+		if name > inst.MaxName() {
+			t.Fatalf("process %d name %d exceeds M=%d", pid, name, inst.MaxName())
+		}
+	}
+}
+
+func TestMajoritySoloAlwaysWins(t *testing.T) {
+	// A lone contender has all neighbors unique: it must win its first.
+	inst := NewMajority(4, 1<<10, Config{Seed: 11})
+	p := shmem.NewProc(0, 617, nil)
+	name, ok := inst.Rename(p, 617)
+	if !ok {
+		t.Fatal("solo contender failed")
+	}
+	if p.Steps() != 5 {
+		t.Fatalf("solo win took %d steps, want 5 (first neighbor)", p.Steps())
+	}
+	if name != int64(inst.Graph().Neighbor(617, 0)) {
+		t.Fatalf("solo winner took name %d, want first neighbor", name)
+	}
+}
+
+func TestMajorityExclusivenessUnderCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		inst := NewMajority(8, 1<<10, Config{Seed: seed})
+		driveRenamer(t, inst, 8, sampleOrigs(8, 1<<10, seed), seed,
+			sched.RandomCrashes(seed+500, 0.05, 7))
+	}
+}
+
+func TestMajorityPanicsOnOutOfRangeName(t *testing.T) {
+	inst := NewMajority(2, 16, Config{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	inst.Rename(shmem.NewProc(0, 1, nil), 17)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expander"
+	"repro/internal/sched"
+)
+
+func TestPolyLogShrinksLargeRanges(t *testing.T) {
+	// Theorem 1: the final range M is O(k), independent of N once N is large.
+	k := 8
+	mA := NewPolyLog(k, 1<<16, Config{Seed: 9}).MaxName()
+	mB := NewPolyLog(k, 1<<24, Config{Seed: 9}).MaxName()
+	if mA >= 1<<16 || mB >= 1<<24 {
+		t.Fatalf("no shrinkage: M(2^16)=%d M(2^24)=%d", mA, mB)
+	}
+	// M must not grow with N (both sit at the profile's fixpoint).
+	if mB > 2*mA {
+		t.Fatalf("M grew with N: %d -> %d", mA, mB)
+	}
+}
+
+func TestPolyLogPaperConstantBound(t *testing.T) {
+	// Under the paper profile, M <= 768e⁴·k must hold once N is large enough
+	// for epochs to engage (Theorem 1's explicit constant).
+	k := 4
+	pl := NewPolyLog(k, 1<<22, Config{Profile: expander.Paper, Seed: 2})
+	bound := int64(768 * 54.598150033144236 * float64(k)) // 768·e⁴·k
+	if pl.MaxName() > bound {
+		t.Fatalf("M = %d exceeds 768e⁴k = %d", pl.MaxName(), bound)
+	}
+	if pl.Epochs() < 1 {
+		t.Fatal("paper-profile PolyLog built no epochs for a large N")
+	}
+}
+
+func TestPolyLogIdentityForSmallN(t *testing.T) {
+	// When N is already at the fixpoint, the object degenerates to the
+	// identity renaming with M = N — a valid (k,N)-renaming.
+	pl := NewPolyLog(4, 32, Config{Seed: 3})
+	if pl.Epochs() != 0 {
+		t.Fatalf("expected identity (0 epochs), got %d", pl.Epochs())
+	}
+	if pl.MaxName() != 32 {
+		t.Fatalf("identity M = %d, want 32", pl.MaxName())
+	}
+	run := driveRenamer(t, pl, 4, []int64{5, 9, 17, 31}, 1, nil)
+	for pid, name := range run.names {
+		want := []int64{5, 9, 17, 31}[pid]
+		if name != want {
+			t.Fatalf("identity renaming moved %d to %d", want, name)
+		}
+	}
+}
+
+func TestPolyLogEveryoneRenamed(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		n := 1 << 14
+		for seed := uint64(0); seed < 8; seed++ {
+			pl := NewPolyLog(k, n, Config{Seed: 600 + seed})
+			run := driveRenamer(t, pl, k, sampleOrigs(k, n, seed), seed, nil)
+			if len(run.failed) != 0 {
+				t.Fatalf("k=%d seed=%d: %d failures", k, seed, len(run.failed))
+			}
+			for _, name := range run.names {
+				if name > pl.MaxName() {
+					t.Fatalf("name %d > M=%d", name, pl.MaxName())
+				}
+			}
+		}
+	}
+}
+
+func TestPolyLogEpochCountLogLog(t *testing.T) {
+	// O(log log N) epochs: going from N=2^14 to N=2^28 (squaring) must add
+	// only O(1) epochs.
+	k := 4
+	e1 := NewPolyLog(k, 1<<14, Config{Seed: 8}).Epochs()
+	e2 := NewPolyLog(k, 1<<28, Config{Seed: 8}).Epochs()
+	if e2 > e1+4 {
+		t.Fatalf("epoch count grew too fast: %d -> %d", e1, e2)
+	}
+}
+
+func TestPolyLogStepBoundWithinTheorem1Shape(t *testing.T) {
+	// Wait-free bound ~ log k(log N + log k log log N): doubling lg N at
+	// fixed k must grow the bound by at most ~2x plus slack (the log N term
+	// dominates). Both sizes are above the profile's fixpoint so epochs
+	// engage.
+	k := 8
+	pl1 := NewPolyLog(k, 1<<16, Config{Seed: 5})
+	pl2 := NewPolyLog(k, 1<<32, Config{Seed: 5})
+	if pl1.Epochs() == 0 || pl2.Epochs() == 0 {
+		t.Fatalf("expected epochs at both sizes: %d, %d", pl1.Epochs(), pl2.Epochs())
+	}
+	s1, s2 := pl1.MaxSteps(), pl2.MaxSteps()
+	if s2 > 4*s1 {
+		t.Fatalf("step bound grew faster than log N: %d -> %d", s1, s2)
+	}
+}
+
+func TestPolyLogWaitFreedom(t *testing.T) {
+	pl := NewPolyLog(6, 1<<12, Config{Seed: 44})
+	run := driveRenamer(t, pl, 6, nil, 0, sched.CrashAllBut(2))
+	if _, ok := run.names[2]; !ok {
+		t.Fatal("survivor did not rename")
+	}
+}
+
+func TestPolyLogExclusivenessUnderCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		pl := NewPolyLog(8, 1<<12, Config{Seed: seed + 20})
+		driveRenamer(t, pl, 8, sampleOrigs(8, 1<<12, seed), seed,
+			sched.RandomCrashes(seed, 0.03, 7))
+	}
+}
+
+func TestPolyLogRegistersDominatedByFirstEpoch(t *testing.T) {
+	// Theorem 1: r = O(k·log(N/k)) — the first epoch dominates. Registers
+	// must be within a constant of the first epoch's.
+	pl := NewPolyLog(8, 1<<20, Config{Seed: 31})
+	if pl.Epochs() == 0 {
+		t.Skip("no epochs at this size")
+	}
+	first := NewBasic(8, 1<<20, Config{Seed: subSeed(31, 0x100)}).Registers()
+	if pl.Registers() > 3*first {
+		t.Fatalf("registers %d not dominated by first epoch %d", pl.Registers(), first)
+	}
+}

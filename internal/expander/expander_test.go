@@ -1,0 +1,172 @@
+package expander
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestLemma3Parameters(t *testing.T) {
+	// With the paper profile the parameters must match Lemma 3:
+	// Δ = 4·lg(N/L), M = 12e⁴·L·lg(N/L).
+	g := New(1<<16, 16, Paper, 1)
+	lg := math.Log2(float64(1<<16) / 16) // = 12
+	wantDeg := int(math.Ceil(4 * lg))
+	wantM := int(math.Ceil(12 * math.Pow(math.E, 4) * 16 * lg))
+	if g.Degree != wantDeg {
+		t.Fatalf("Degree = %d, want %d", g.Degree, wantDeg)
+	}
+	if g.M != wantM {
+		t.Fatalf("M = %d, want %d", g.M, wantM)
+	}
+}
+
+func TestDeterministicEdges(t *testing.T) {
+	a := New(1024, 8, Practical, 42)
+	b := New(1024, 8, Practical, 42)
+	for v := int64(1); v <= 100; v++ {
+		for i := 0; i < a.Degree; i++ {
+			if a.Neighbor(v, i) != b.Neighbor(v, i) {
+				t.Fatalf("edges differ at v=%d i=%d", v, i)
+			}
+		}
+	}
+	c := New(1024, 8, Practical, 43)
+	same := true
+	for v := int64(1); v <= 20 && same; v++ {
+		for i := 0; i < a.Degree; i++ {
+			if a.Neighbor(v, i) != c.Neighbor(v, i) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edges")
+	}
+}
+
+func TestNeighborBounds(t *testing.T) {
+	g := New(4096, 32, Practical, 7)
+	f := func(vRaw uint32, iRaw uint8) bool {
+		v := int64(vRaw%4096) + 1
+		i := int(iRaw) % g.Degree
+		w := g.Neighbor(v, i)
+		return w >= 1 && w <= g.M
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborPanicsOutOfRange(t *testing.T) {
+	g := New(16, 4, Practical, 1)
+	for _, fn := range []func(){
+		func() { g.Neighbor(0, 0) },
+		func() { g.Neighbor(17, 0) },
+		func() { g.Neighbor(1, -1) },
+		func() { g.Neighbor(1, g.Degree) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborsAppends(t *testing.T) {
+	g := New(256, 4, Practical, 3)
+	buf := g.Neighbors(5, nil)
+	if len(buf) != g.Degree {
+		t.Fatalf("got %d neighbors, want %d", len(buf), g.Degree)
+	}
+	buf2 := g.Neighbors(5, buf[:0])
+	for i := range buf {
+		if buf[i] != buf2[i] {
+			t.Fatal("Neighbors not deterministic across calls")
+		}
+	}
+}
+
+func TestMatchedInputsSingleton(t *testing.T) {
+	g := New(1024, 8, Practical, 9)
+	// A singleton set always has all its neighbors unique.
+	if got := g.MatchedInputs([]int64{17}); got != 1 {
+		t.Fatalf("MatchedInputs({17}) = %d, want 1", got)
+	}
+}
+
+func TestCheckLosslessPracticalProfile(t *testing.T) {
+	// The practical profile must deliver the Lemma 2 matching (> 1/2 of X)
+	// on sampled subsets across a spread of (N, L).
+	cases := []struct{ n, l int }{
+		{1 << 10, 4},
+		{1 << 12, 16},
+		{1 << 14, 64},
+		{1 << 16, 32},
+	}
+	rng := xrand.New(123)
+	for _, c := range cases {
+		g := New(c.n, c.l, Practical, 77)
+		rep := g.CheckLossless(300, rng)
+		if rep.Violations != 0 {
+			t.Errorf("%s: %d majority violations (min matched frac %.3f)",
+				g.ParamsString(), rep.Violations, rep.MinMatchedFrac)
+		}
+		if rep.MinMatchedFrac <= 1-2*Epsilon {
+			t.Errorf("%s: min matched fraction %.3f <= %.2f",
+				g.ParamsString(), rep.MinMatchedFrac, 1-2*Epsilon)
+		}
+	}
+}
+
+func TestCheckLosslessPaperProfile(t *testing.T) {
+	// Paper constants at a small size: expansion must clear 1-ε easily.
+	g := New(1<<12, 8, Paper, 5)
+	rep := g.CheckLossless(200, xrand.New(99))
+	if rep.MinExpansion <= 1-Epsilon {
+		t.Fatalf("paper-profile expansion %.3f <= %.2f", rep.MinExpansion, 1-Epsilon)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("paper-profile majority violations: %d", rep.Violations)
+	}
+}
+
+func TestTinyRatioClamp(t *testing.T) {
+	// N == L: lg(N/L) = 0 must clamp, not produce a degenerate graph.
+	g := New(8, 8, Practical, 2)
+	if g.Degree < 2 || g.M < g.Degree {
+		t.Fatalf("degenerate graph: %s", g.ParamsString())
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for N=0")
+		}
+	}()
+	New(0, 1, Practical, 1)
+}
+
+func TestNeighborSetCountsDistinctEdges(t *testing.T) {
+	g := New(64, 4, Practical, 11)
+	X := []int64{1, 2, 3}
+	adj := g.NeighborSet(X)
+	total := 0
+	for _, c := range adj {
+		if c < 1 || c > len(X) {
+			t.Fatalf("adjacency count %d out of range", c)
+		}
+		total += c
+	}
+	if total > len(X)*g.Degree {
+		t.Fatalf("total distinct-edge count %d exceeds |X|·Δ = %d", total, len(X)*g.Degree)
+	}
+}

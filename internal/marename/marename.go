@@ -1,0 +1,108 @@
+// Package marename implements the Moir-Anderson grid renaming algorithm
+// MA(k) (Moir and Anderson, "Wait-free algorithms for fast, long-lived
+// renaming", Sci. Comput. Program. 1995), which the paper uses both as the
+// first stage of Efficient-Rename (Theorem 2) and as a baseline in its
+// comparison of renaming algorithms: O(k) local steps, new names bounded by
+// M = k(k+1)/2, and O(k²) registers.
+//
+// The algorithm sends each process through a triangular grid of one-shot
+// splitters. A splitter (Lamport's fast-path gadget) guarantees that of the
+// j >= 1 processes entering it, at most one stops, at most j-1 leave right,
+// and at most j-1 leave down; a process entering alone stops. Consequently
+// at most k - r - c processes ever reach grid cell (r, c), so every process
+// stops within the triangle r + c <= k - 1. Naming cells in anti-diagonal
+// order makes the construction adaptive: with k actual contenders on a
+// larger grid, all stops still happen at depth < k, so names stay within
+// k(k+1)/2 — the property Adaptive-Rename (Theorem 4) relies on.
+package marename
+
+import "repro/internal/shmem"
+
+// outcome is a splitter verdict.
+type outcome uint8
+
+const (
+	stop outcome = iota
+	right
+	down
+)
+
+// splitterCell is one grid splitter: X names the doorway owner, Y closes the
+// door. Both start at Null.
+type splitterCell struct {
+	x shmem.Reg
+	y shmem.Reg
+}
+
+// split runs the one-shot splitter protocol for identity id (non-null).
+// At most 4 local steps.
+func (s *splitterCell) split(p *shmem.Proc, id int64) outcome {
+	p.Write(&s.x, id)
+	if p.Read(&s.y) != shmem.Null {
+		return right
+	}
+	p.Write(&s.y, 1)
+	if p.Read(&s.x) == id {
+		return stop
+	}
+	return down
+}
+
+// Grid is a k×k triangular splitter grid assigning names in [1, k(k+1)/2].
+type Grid struct {
+	k     int
+	cells [][]splitterCell // cells[r][c] for r+c <= k-1
+}
+
+// NewGrid allocates a grid provisioned for up to k contenders.
+func NewGrid(k int) *Grid {
+	if k < 1 {
+		panic("marename: grid needs k >= 1")
+	}
+	cells := make([][]splitterCell, k)
+	for r := 0; r < k; r++ {
+		cells[r] = make([]splitterCell, k-r)
+	}
+	return &Grid{k: k, cells: cells}
+}
+
+// K returns the contender bound the grid was provisioned for.
+func (g *Grid) K() int { return g.k }
+
+// MaxName returns the bound M = k(k+1)/2 on names the grid can assign.
+func (g *Grid) MaxName() int64 { return int64(g.k) * int64(g.k+1) / 2 }
+
+// Registers returns the number of shared registers the grid occupies
+// (two per splitter).
+func (g *Grid) Registers() int { return g.k * (g.k + 1) }
+
+// cellName converts grid coordinates to the 1-based anti-diagonal name:
+// cells are numbered by depth d = r+c first, then by row within the
+// diagonal, so lower contention yields smaller names (adaptivity).
+func (g *Grid) cellName(r, c int) int64 {
+	d := r + c
+	return int64(d)*int64(d+1)/2 + int64(r) + 1
+}
+
+// Rename walks identity id (non-null, unique per contender) through the
+// grid. It returns the acquired name and true, or 0 and false if the walk
+// fell off the grid — possible only when contention exceeds k, which the
+// adaptive constructions treat as a signal to retry at a higher level. At
+// most 4k local steps are taken.
+func (g *Grid) Rename(p *shmem.Proc, id int64) (int64, bool) {
+	if id == shmem.Null {
+		panic("marename: identity must be non-null")
+	}
+	r, c := 0, 0
+	for r+c <= g.k-1 {
+		switch g.cells[r][c].split(p, id) {
+		case stop:
+			return g.cellName(r, c), true
+		case right:
+			c++
+		case down:
+			r++
+		}
+	}
+	return 0, false
+}

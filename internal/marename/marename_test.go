@@ -1,0 +1,227 @@
+package marename
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+func TestSoloStopsImmediately(t *testing.T) {
+	g := NewGrid(4)
+	p := shmem.NewProc(0, 9, nil)
+	name, ok := g.Rename(p, 9)
+	if !ok || name != 1 {
+		t.Fatalf("solo rename = (%d,%v), want (1,true)", name, ok)
+	}
+	if p.Steps() != 4 {
+		t.Fatalf("solo walk took %d steps, want 4", p.Steps())
+	}
+}
+
+func TestCellNamesAreDistinctAndOrdered(t *testing.T) {
+	g := NewGrid(6)
+	seen := make(map[int64]bool)
+	for r := 0; r < 6; r++ {
+		for c := 0; c+r <= 5; c++ {
+			n := g.cellName(r, c)
+			if n < 1 || n > g.MaxName() {
+				t.Fatalf("cell (%d,%d) name %d outside [1,%d]", r, c, n, g.MaxName())
+			}
+			if seen[n] {
+				t.Fatalf("duplicate name %d", n)
+			}
+			seen[n] = true
+			// Anti-diagonal ordering: deeper cells have strictly larger names
+			// than all shallower cells.
+			if r+c > 0 {
+				shallowMax := int64(r+c) * int64(r+c+1) / 2
+				if n <= shallowMax-int64(r+c) {
+					t.Fatalf("cell (%d,%d) name %d not ordered by depth", r, c, n)
+				}
+			}
+		}
+	}
+	if int64(len(seen)) != g.MaxName() {
+		t.Fatalf("enumerated %d names, want %d", len(seen), g.MaxName())
+	}
+}
+
+func runGrid(t *testing.T, g *Grid, k int, seed uint64, plan sched.CrashPlan) (names map[int]int64, failed int) {
+	t.Helper()
+	names = make(map[int]int64)
+	got := make([]int64, k)
+	oks := make([]bool, k)
+	res := sched.Run(k, nil, sched.NewRandom(seed), plan, func(p *shmem.Proc) {
+		got[p.ID()], oks[p.ID()] = g.Rename(p, p.Name())
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for pid := 0; pid < k; pid++ {
+		if res.Crashed[pid] {
+			continue
+		}
+		if !oks[pid] {
+			failed++
+			continue
+		}
+		names[pid] = got[pid]
+	}
+	// Exclusiveness.
+	used := make(map[int64]int)
+	for pid, n := range names {
+		if other, dup := used[n]; dup {
+			t.Fatalf("name %d assigned to both %d and %d (seed %d)", n, other, pid, seed)
+		}
+		used[n] = pid
+	}
+	return names, failed
+}
+
+func TestExactContentionAllRenameWithinBound(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8, 13} {
+		for seed := uint64(0); seed < 25; seed++ {
+			g := NewGrid(k)
+			names, failed := runGrid(t, g, k, seed, nil)
+			if failed != 0 {
+				t.Fatalf("k=%d seed=%d: %d processes fell off a correctly sized grid", k, seed, failed)
+			}
+			for pid, n := range names {
+				if n > g.MaxName() {
+					t.Fatalf("k=%d: process %d got name %d > %d", k, pid, n, g.MaxName())
+				}
+			}
+			if len(names) != k {
+				t.Fatalf("k=%d seed=%d: only %d renamed", k, seed, len(names))
+			}
+		}
+	}
+}
+
+func TestAdaptivity(t *testing.T) {
+	// On a grid provisioned for 32, k actual contenders must still get names
+	// within k(k+1)/2 and walk at most 4k steps: the Theorem 4 ingredient.
+	for _, k := range []int{1, 2, 4, 7} {
+		for seed := uint64(0); seed < 20; seed++ {
+			g := NewGrid(32)
+			bound := int64(k) * int64(k+1) / 2
+			names := make([]int64, k)
+			res := sched.Run(k, nil, sched.NewRandom(seed), nil, func(p *shmem.Proc) {
+				n, ok := g.Rename(p, p.Name())
+				if !ok {
+					panic("fell off oversized grid")
+				}
+				names[p.ID()] = n
+			})
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			for pid, n := range names {
+				if n > bound {
+					t.Fatalf("k=%d: process %d name %d exceeds adaptive bound %d", k, pid, n, bound)
+				}
+			}
+			if res.MaxSteps() > int64(4*k) {
+				t.Fatalf("k=%d: max steps %d exceeds 4k", k, res.MaxSteps())
+			}
+		}
+	}
+}
+
+func TestOverloadFailsSafely(t *testing.T) {
+	// Contention above the grid size may push processes off the edge; they
+	// must fail cleanly and exclusiveness must hold for the rest.
+	sawFailure := false
+	for seed := uint64(0); seed < 40; seed++ {
+		g := NewGrid(2)
+		_, failed := runGrid(t, g, 6, seed, nil)
+		if failed > 0 {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Log("no overload failure observed (allowed, but unusual)")
+	}
+}
+
+func TestExclusivenessUnderCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		g := NewGrid(8)
+		runGrid(t, g, 8, seed, sched.RandomCrashes(seed+7, 0.05, 7))
+	}
+}
+
+func TestWaitFreedomCrashAllButOne(t *testing.T) {
+	g := NewGrid(5)
+	var name int64
+	res := sched.Run(5, nil, &sched.RoundRobin{}, sched.CrashAllBut(3), func(p *shmem.Proc) {
+		n, ok := g.Rename(p, p.Name())
+		if ok {
+			name = n
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if name == 0 {
+		t.Fatal("survivor did not rename")
+	}
+}
+
+func TestConcurrentExclusiveness(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		const k = 8
+		g := NewGrid(k)
+		names := make([]int64, k)
+		res := sched.RunFree(k, nil, func(p *shmem.Proc) {
+			n, ok := g.Rename(p, p.Name())
+			if !ok {
+				panic("fell off correctly sized grid")
+			}
+			names[p.ID()] = n
+		})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		used := make(map[int64]bool)
+		for _, n := range names {
+			if used[n] {
+				t.Fatalf("duplicate name %d in trial %d", n, trial)
+			}
+			used[n] = true
+			if n > g.MaxName() {
+				t.Fatalf("name %d exceeds bound %d", n, g.MaxName())
+			}
+		}
+	}
+}
+
+func TestRegisterAccounting(t *testing.T) {
+	g := NewGrid(7)
+	if got, want := g.Registers(), 7*8; got != want {
+		t.Fatalf("Registers = %d, want %d", got, want)
+	}
+	if g.K() != 7 {
+		t.Fatalf("K = %d", g.K())
+	}
+}
+
+func TestNewGridPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(0)
+}
+
+func TestRenamePanicsOnNullIdentity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := NewGrid(2)
+	g.Rename(shmem.NewProc(0, 1, nil), shmem.Null)
+}

@@ -1,0 +1,436 @@
+// Package sched executes a set of simulated processes against shared memory
+// under controlled asynchrony. It provides the two execution modes the
+// reproduction needs:
+//
+//   - Controller: a deterministic cooperative scheduler that serializes the
+//     processes at shared-register-access granularity. Before every register
+//     access a process publishes its Intent (read/write + target register)
+//     and blocks; the scheduler decides who moves next. This is exactly the
+//     power the asynchronous adversary has in the paper's model, including
+//     the lower-bound adversary of Theorem 6 (which schedules by inspecting
+//     enabled operations) and crash injection at a precise operation.
+//
+//   - RunFree: free-running goroutines over atomic registers, for throughput
+//     benchmarks and race-detector coverage.
+//
+// Crashes are modeled by unwinding the process goroutine with a
+// panic(shmem.Crash{}) raised inside the gate; the runner recovers it. A
+// crashed process takes no further steps, matching the model.
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// Body is the algorithm a process runs. The process's identity and original
+// name are available on p.
+type Body func(p *shmem.Proc)
+
+// procPhase tracks where a process is in its lifecycle.
+type procPhase uint8
+
+const (
+	phaseRunning procPhase = iota // computing locally (or not yet started)
+	phasePending                  // blocked, intent posted, awaiting grant
+	phaseDone                     // finished normally
+	phaseCrashed                  // crash-injected
+	phasePanicked                 // failed with an unexpected panic
+)
+
+type request struct {
+	pid    int
+	intent shmem.Intent
+}
+
+type finish struct {
+	pid     int
+	crashed bool
+	err     error
+}
+
+type grant struct {
+	crash bool
+}
+
+// Controller runs n processes in lock step. At any decision point every
+// live process is either finished or blocked with a published Intent; the
+// caller (a Policy, or adversary code driving the Controller directly)
+// picks which process performs its next shared-memory operation.
+type Controller struct {
+	n      int
+	procs  []*shmem.Proc
+	phase  []procPhase
+	intent []shmem.Intent
+	err    []error
+
+	reqCh    chan request
+	finCh    chan finish
+	grantChs []chan grant
+	active   int // processes in phaseRunning
+}
+
+// gate adapts the Controller to shmem.Gate for one process.
+type gate struct {
+	c   *Controller
+	pid int
+}
+
+// Step publishes the intent and blocks until granted. A crash grant unwinds
+// the goroutine.
+func (g gate) Step(pid int, intent shmem.Intent) {
+	g.c.reqCh <- request{pid: pid, intent: intent}
+	if gr := <-g.c.grantChs[pid]; gr.crash {
+		panic(shmem.Crash{})
+	}
+}
+
+// NewController starts n process goroutines running body and returns once
+// every process is either blocked on its first shared-memory operation or
+// already finished. names[i] is process i's original name; a nil names
+// assigns pid+1.
+func NewController(n int, names []int64, body Body) *Controller {
+	if n <= 0 {
+		panic("sched: controller needs at least one process")
+	}
+	if names != nil && len(names) != n {
+		panic("sched: names length must equal n")
+	}
+	c := &Controller{
+		n:        n,
+		procs:    make([]*shmem.Proc, n),
+		phase:    make([]procPhase, n),
+		intent:   make([]shmem.Intent, n),
+		err:      make([]error, n),
+		reqCh:    make(chan request, n),
+		finCh:    make(chan finish, n),
+		grantChs: make([]chan grant, n),
+	}
+	for i := 0; i < n; i++ {
+		name := int64(i + 1)
+		if names != nil {
+			name = names[i]
+		}
+		c.grantChs[i] = make(chan grant, 1)
+		c.procs[i] = shmem.NewProc(i, name, gate{c: c, pid: i})
+	}
+	c.active = n
+	for i := 0; i < n; i++ {
+		go c.runProc(i, body)
+	}
+	c.quiesce()
+	return c
+}
+
+func (c *Controller) runProc(pid int, body Body) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+			c.finCh <- finish{pid: pid}
+		case shmem.Crash:
+			c.finCh <- finish{pid: pid, crashed: true}
+		default:
+			c.finCh <- finish{
+				pid: pid,
+				err: fmt.Errorf("sched: process %d panicked: %v\n%s", pid, r, debug.Stack()),
+			}
+		}
+	}()
+	body(c.procs[pid])
+}
+
+// quiesce waits until no process is computing: each live process has posted
+// an intent or finished.
+func (c *Controller) quiesce() {
+	for c.active > 0 {
+		select {
+		case r := <-c.reqCh:
+			c.phase[r.pid] = phasePending
+			c.intent[r.pid] = r.intent
+			c.active--
+		case f := <-c.finCh:
+			switch {
+			case f.err != nil:
+				c.phase[f.pid] = phasePanicked
+				c.err[f.pid] = f.err
+			case f.crashed:
+				c.phase[f.pid] = phaseCrashed
+			default:
+				c.phase[f.pid] = phaseDone
+			}
+			c.active--
+		}
+	}
+}
+
+// Pending returns the pids blocked on a shared-memory operation, in pid
+// order. The slice is freshly allocated.
+func (c *Controller) Pending() []int {
+	out := make([]int, 0, c.n)
+	for pid, ph := range c.phase {
+		if ph == phasePending {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// Intent returns the published next operation of a pending process.
+func (c *Controller) Intent(pid int) shmem.Intent {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("sched: Intent(%d) of non-pending process", pid))
+	}
+	return c.intent[pid]
+}
+
+// Proc returns the process handle (for step counts and identity).
+func (c *Controller) Proc(pid int) *shmem.Proc { return c.procs[pid] }
+
+// Done reports whether the process finished normally.
+func (c *Controller) Done(pid int) bool { return c.phase[pid] == phaseDone }
+
+// Crashed reports whether the process was crash-injected.
+func (c *Controller) Crashed(pid int) bool { return c.phase[pid] == phaseCrashed }
+
+// Step grants one shared-memory operation to a pending process and returns
+// when every process is again blocked or finished.
+func (c *Controller) Step(pid int) {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("sched: Step(%d) of non-pending process", pid))
+	}
+	c.phase[pid] = phaseRunning
+	c.active++
+	c.grantChs[pid] <- grant{}
+	c.quiesce()
+}
+
+// Crash terminates a pending process before its posted operation executes.
+// The operation is not performed — the paper's crash model.
+func (c *Controller) Crash(pid int) {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("sched: Crash(%d) of non-pending process", pid))
+	}
+	c.phase[pid] = phaseRunning
+	c.active++
+	c.grantChs[pid] <- grant{crash: true}
+	c.quiesce()
+}
+
+// Abort crashes every pending process, releasing all goroutines. It is the
+// cleanup path for partially driven executions.
+func (c *Controller) Abort() {
+	for {
+		pending := c.Pending()
+		if len(pending) == 0 {
+			return
+		}
+		for _, pid := range pending {
+			c.Crash(pid)
+		}
+	}
+}
+
+// Result summarizes a completed execution.
+type Result struct {
+	Steps   []int64 // local steps per process
+	Crashed []bool  // crash-injected processes
+	Err     error   // first unexpected panic, if any
+}
+
+// MaxSteps returns the maximum per-process step count, the quantity the
+// paper's wait-free bounds constrain.
+func (r Result) MaxSteps() int64 {
+	var m int64
+	for _, s := range r.Steps {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// TotalSteps returns the sum of all processes' local steps.
+func (r Result) TotalSteps() int64 {
+	var t int64
+	for _, s := range r.Steps {
+		t += s
+	}
+	return t
+}
+
+func (c *Controller) result() Result {
+	res := Result{Steps: make([]int64, c.n), Crashed: make([]bool, c.n)}
+	for i := 0; i < c.n; i++ {
+		res.Steps[i] = c.procs[i].Steps()
+		res.Crashed[i] = c.phase[i] == phaseCrashed
+		if c.err[i] != nil && res.Err == nil {
+			res.Err = c.err[i]
+		}
+	}
+	return res
+}
+
+// Run drives the controller with policy (and optional crash plan) until every
+// process has finished or crashed, then returns the execution summary.
+func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
+	for {
+		pending := c.Pending()
+		if len(pending) == 0 {
+			break
+		}
+		pid := policy.Next(c, pending)
+		if plan != nil && plan.ShouldCrash(pid, c.procs[pid].Steps(), c.intent[pid]) {
+			c.Crash(pid)
+			continue
+		}
+		c.Step(pid)
+	}
+	return c.result()
+}
+
+// Run is the one-call entry point: construct a controller, drive it with
+// policy and plan, and return the result.
+func Run(n int, names []int64, policy Policy, plan CrashPlan, body Body) Result {
+	c := NewController(n, names, body)
+	return c.Run(policy, plan)
+}
+
+// RunFree executes the processes as free-running goroutines with no
+// scheduler, exercising true concurrency over the atomic registers. Panics
+// other than shmem.Crash are captured into Result.Err.
+func RunFree(n int, names []int64, body Body) Result {
+	if names != nil && len(names) != n {
+		panic("sched: names length must equal n")
+	}
+	procs := make([]*shmem.Proc, n)
+	res := Result{Steps: make([]int64, n), Crashed: make([]bool, n)}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		name := int64(i + 1)
+		if names != nil {
+			name = names[i]
+		}
+		procs[i] = shmem.NewProc(i, name, nil)
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(shmem.Crash); ok {
+						res.Crashed[pid] = true
+						return
+					}
+					errs[pid] = fmt.Errorf("sched: process %d panicked: %v\n%s", pid, r, debug.Stack())
+				}
+			}()
+			body(procs[pid])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		res.Steps[i] = procs[i].Steps()
+		if errs[i] != nil && res.Err == nil {
+			res.Err = errs[i]
+		}
+	}
+	return res
+}
+
+// Policy chooses the next process to step among the pending ones.
+type Policy interface {
+	Next(c *Controller, pending []int) int
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(c *Controller, pending []int) int
+
+// Next implements Policy.
+func (f PolicyFunc) Next(c *Controller, pending []int) int { return f(c, pending) }
+
+// RoundRobin cycles through the processes in pid order. The zero value is
+// ready to use.
+type RoundRobin struct {
+	last int
+}
+
+// Next implements Policy.
+func (rr *RoundRobin) Next(c *Controller, pending []int) int {
+	for _, pid := range pending {
+		if pid > rr.last {
+			rr.last = pid
+			return pid
+		}
+	}
+	rr.last = pending[0]
+	return pending[0]
+}
+
+// Random picks uniformly among pending processes from a deterministic seed.
+type Random struct {
+	rng *xrand.Rand
+}
+
+// NewRandom returns a seeded random policy.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: xrand.New(seed)}
+}
+
+// Next implements Policy.
+func (r *Random) Next(c *Controller, pending []int) int {
+	return pending[r.rng.Intn(len(pending))]
+}
+
+// CrashPlan decides, just before a chosen process would take a step, whether
+// to crash it instead. steps is the process's local-step count so far.
+type CrashPlan interface {
+	ShouldCrash(pid int, steps int64, intent shmem.Intent) bool
+}
+
+// CrashPlanFunc adapts a function to the CrashPlan interface.
+type CrashPlanFunc func(pid int, steps int64, intent shmem.Intent) bool
+
+// ShouldCrash implements CrashPlan.
+func (f CrashPlanFunc) ShouldCrash(pid int, steps int64, intent shmem.Intent) bool {
+	return f(pid, steps, intent)
+}
+
+// CrashAllBut crashes every process except survivor on its first step. It is
+// the canonical wait-freedom test: the survivor must still complete.
+func CrashAllBut(survivor int) CrashPlan {
+	return CrashPlanFunc(func(pid int, _ int64, _ shmem.Intent) bool {
+		return pid != survivor
+	})
+}
+
+// CrashAt crashes the listed processes when their step count reaches the
+// paired threshold. at maps pid to the step count at which to crash.
+func CrashAt(at map[int]int64) CrashPlan {
+	return CrashPlanFunc(func(pid int, steps int64, _ shmem.Intent) bool {
+		th, ok := at[pid]
+		return ok && steps >= th
+	})
+}
+
+// RandomCrashes crashes each process independently with probability prob at
+// every scheduling decision, up to maxCrashes total, from a deterministic
+// seed.
+func RandomCrashes(seed uint64, prob float64, maxCrashes int) CrashPlan {
+	rng := xrand.New(seed)
+	crashed := 0
+	return CrashPlanFunc(func(pid int, _ int64, _ shmem.Intent) bool {
+		if crashed >= maxCrashes {
+			return false
+		}
+		if rng.Float64() < prob {
+			crashed++
+			return true
+		}
+		return false
+	})
+}

@@ -1,0 +1,99 @@
+package shmem
+
+import "fmt"
+
+// OpKind distinguishes the two operations of the read-write register model.
+type OpKind uint8
+
+// Register operation kinds. Values start at 1 so the zero Intent is
+// recognizably invalid.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Intent describes the shared-memory operation a process is about to perform.
+// The lower-bound adversary of Theorem 6 schedules processes based on exactly
+// this information: whether the enabled operation is a read or a write, and
+// which register it targets. Reg is an opaque register identity, comparable
+// by pointer equality.
+type Intent struct {
+	Kind OpKind
+	Reg  any
+}
+
+// Gate is the hook by which a scheduler serializes and observes a process's
+// shared-memory steps. Step is called immediately before each register
+// access with the access described by intent; it blocks until the scheduler
+// grants the step. A Gate signals a crash by panicking with Crash{}, which
+// the scheduler's runner recovers; algorithm code never observes it.
+type Gate interface {
+	Step(pid int, intent Intent)
+}
+
+// Crash is the panic payload used to abruptly terminate a crashed process's
+// goroutine. It is exported so runners outside this package can recover it.
+type Crash struct{}
+
+// Proc is a process's handle to shared memory. Each Proc is owned by exactly
+// one goroutine. It charges one local step per register access and threads
+// every access through the scheduler gate, if any.
+type Proc struct {
+	id    int   // process index in [0, n)
+	name  int64 // original name, a unique integer >= 1
+	steps int64 // local steps taken so far
+	gate  Gate  // nil means free-running (no scheduler)
+}
+
+// NewProc returns a process handle with index id (0-based) and original name
+// name (>= 1). Gate may be nil for free-running execution.
+func NewProc(id int, name int64, gate Gate) *Proc {
+	if name < 1 {
+		panic(fmt.Sprintf("shmem: original name %d must be >= 1", name))
+	}
+	return &Proc{id: id, name: name, gate: gate}
+}
+
+// ID returns the process index in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's original name in [1, N].
+func (p *Proc) Name() int64 { return p.name }
+
+// Steps returns the number of local steps (shared-register accesses) taken.
+func (p *Proc) Steps() int64 { return p.steps }
+
+// AddSteps charges extra local steps without touching memory. It is used by
+// components that model a register access performed on the process's behalf.
+func (p *Proc) AddSteps(n int64) { p.steps += n }
+
+func (p *Proc) step(intent Intent) {
+	if p.gate != nil {
+		p.gate.Step(p.id, intent)
+	}
+	p.steps++
+}
+
+// Read performs a counted atomic read of a scalar register.
+func (p *Proc) Read(r *Reg) int64 {
+	p.step(Intent{Kind: OpRead, Reg: r})
+	return r.v.Load()
+}
+
+// Write performs a counted atomic write of a scalar register.
+func (p *Proc) Write(r *Reg, v int64) {
+	p.step(Intent{Kind: OpWrite, Reg: r})
+	r.v.Store(v)
+}

@@ -1,0 +1,251 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	o := New[int64](3)
+	p := shmem.NewProc(0, 1, nil)
+	v := o.Scan(p)
+	for i, e := range v {
+		if e.Set {
+			t.Fatalf("segment %d set before any update", i)
+		}
+	}
+	o.Update(p, 0, 10)
+	o.Update(p, 2, 30)
+	v = o.Scan(p)
+	if !v[0].Set || v[0].Data != 10 || v[1].Set || !v[2].Set || v[2].Data != 30 {
+		t.Fatalf("view = %+v", v)
+	}
+	o.Update(p, 0, 11)
+	if got := o.Scan(p)[0].Data; got != 11 {
+		t.Fatalf("segment 0 = %d after overwrite, want 11", got)
+	}
+}
+
+func TestUpdatePanicsOutOfRange(t *testing.T) {
+	o := New[int64](2)
+	p := shmem.NewProc(0, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Update(p, 2, 1)
+}
+
+func TestNewPanicsOnZeroSegments(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int64](0)
+}
+
+func TestScanStepCostQuietObject(t *testing.T) {
+	// With no concurrent updates a scan is exactly two collects: 2n reads.
+	n := 8
+	o := New[int64](n)
+	p := shmem.NewProc(0, 1, nil)
+	o.Scan(p)
+	if got := p.Steps(); got != int64(2*n) {
+		t.Fatalf("quiet scan took %d steps, want %d", got, 2*n)
+	}
+}
+
+// comparable reports whether views a and b are coordinatewise ordered
+// (a <= b or b <= a) for monotone int64 counters. Atomic snapshots of
+// single-writer monotone counters must produce pairwise comparable views;
+// incomparable views witness a linearizability violation.
+func comparableViews(a, b []View[int64]) bool {
+	aLEb, bLEa := true, true
+	for i := range a {
+		av, bv := int64(-1), int64(-1)
+		if a[i].Set {
+			av = a[i].Data
+		}
+		if b[i].Set {
+			bv = b[i].Data
+		}
+		if av > bv {
+			aLEb = false
+		}
+		if bv > av {
+			bLEa = false
+		}
+	}
+	return aLEb || bLEa
+}
+
+func TestLinearizabilityUnderScheduledInterleavings(t *testing.T) {
+	// Writers bump their own monotone counter; scanners gather views. All
+	// views from the whole execution must be pairwise comparable.
+	for seed := uint64(0); seed < 40; seed++ {
+		const writers, scanners, updates, scans = 3, 3, 4, 4
+		n := writers
+		o := New[int64](n)
+		var mu sync.Mutex
+		var views [][]View[int64]
+		res := sched.Run(writers+scanners, nil, sched.NewRandom(seed), nil,
+			func(p *shmem.Proc) {
+				if p.ID() < writers {
+					for u := 1; u <= updates; u++ {
+						o.Update(p, p.ID(), int64(u))
+					}
+					return
+				}
+				for s := 0; s < scans; s++ {
+					v := o.Scan(p)
+					mu.Lock()
+					views = append(views, v)
+					mu.Unlock()
+				}
+			})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		for i := 0; i < len(views); i++ {
+			for j := i + 1; j < len(views); j++ {
+				if !comparableViews(views[i], views[j]) {
+					t.Fatalf("seed %d: incomparable views %v vs %v", seed, views[i], views[j])
+				}
+			}
+		}
+	}
+}
+
+func TestLinearizabilityConcurrent(t *testing.T) {
+	// Same property under true concurrency (race detector coverage).
+	const writers, scanners = 4, 4
+	o := New[int64](writers)
+	var mu sync.Mutex
+	var views [][]View[int64]
+	res := sched.RunFree(writers+scanners, nil, func(p *shmem.Proc) {
+		if p.ID() < writers {
+			for u := 1; u <= 50; u++ {
+				o.Update(p, p.ID(), int64(u))
+			}
+			return
+		}
+		for s := 0; s < 50; s++ {
+			v := o.Scan(p)
+			mu.Lock()
+			views = append(views, v)
+			mu.Unlock()
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			if !comparableViews(views[i], views[j]) {
+				t.Fatalf("incomparable views %v vs %v", views[i], views[j])
+			}
+		}
+	}
+}
+
+func TestViewsMonotonePerScanner(t *testing.T) {
+	// Successive scans by one process must be coordinatewise non-decreasing
+	// for monotone counters.
+	o := New[int64](2)
+	res := sched.RunFree(3, nil, func(p *shmem.Proc) {
+		if p.ID() < 2 {
+			for u := 1; u <= 100; u++ {
+				o.Update(p, p.ID(), int64(u))
+			}
+			return
+		}
+		var last []View[int64]
+		for s := 0; s < 100; s++ {
+			v := o.Scan(p)
+			if last != nil {
+				for i := range v {
+					lv, cv := int64(-1), int64(-1)
+					if last[i].Set {
+						lv = last[i].Data
+					}
+					if v[i].Set {
+						cv = v[i].Data
+					}
+					if cv < lv {
+						panic("view went backwards")
+					}
+				}
+			}
+			last = v
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestScanSurvivesCrashedUpdater(t *testing.T) {
+	// A writer crashed mid-update must not wedge scanners: wait-freedom.
+	o := New[int64](2)
+	res := sched.Run(2, nil, &sched.RoundRobin{},
+		sched.CrashAt(map[int]int64{0: 2}), // writer dies inside its update scan
+		func(p *shmem.Proc) {
+			if p.ID() == 0 {
+				o.Update(p, 0, 42)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				o.Scan(p)
+			}
+		})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Crashed[0] {
+		t.Fatal("writer should have crashed")
+	}
+	if res.Crashed[1] {
+		t.Fatal("scanner should have completed")
+	}
+}
+
+func TestScanStepsBounded(t *testing.T) {
+	// Wait-freedom bound: a scan completes within (n+2) collects even under
+	// maximal update pressure.
+	const n = 4
+	o := New[int64](n)
+	res := sched.RunFree(n+1, nil, func(p *shmem.Proc) {
+		if p.ID() < n {
+			for u := 1; u <= 200; u++ {
+				o.Update(p, p.ID(), int64(u))
+			}
+			return
+		}
+		start := p.Steps()
+		o.Scan(p)
+		if took := p.Steps() - start; took > int64((n+2)*n) {
+			panic("scan exceeded wait-free step bound")
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestGenericPayload(t *testing.T) {
+	type entry struct {
+		Orig, Prop int64
+	}
+	o := New[entry](2)
+	p := shmem.NewProc(0, 1, nil)
+	o.Update(p, 1, entry{Orig: 9, Prop: 3})
+	v := o.Scan(p)
+	if !v[1].Set || v[1].Data.Orig != 9 || v[1].Data.Prop != 3 {
+		t.Fatalf("view = %+v", v)
+	}
+}
