@@ -1,0 +1,354 @@
+// Command bench runs the repository benchmark suite: a microbenchmark of
+// the scheduler grant path against the frozen pre-refactor baseline, and a
+// grid of driven executions over (algorithm, n, policy, crash plan). It
+// emits a JSON trajectory file (BENCH_PR1.json) recording ns/step,
+// steps/sec, allocs/step and observed max-steps against the paper's bound
+// where one is stated, so future performance PRs are judged against a
+// committed baseline.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_PR1.json        # full grid
+//	go run ./cmd/bench -quick                     # CI smoke run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/afrename"
+	"repro/internal/compete"
+	"repro/internal/core"
+	"repro/internal/marename"
+	"repro/internal/sched"
+	"repro/internal/sched/baseline"
+	"repro/internal/shmem"
+	"repro/internal/snapshot"
+)
+
+// Micro is one microbenchmark measurement of the scheduler grant path.
+type Micro struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Steps       int64   `json:"steps"`
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	AllocsStep  float64 `json:"allocs_per_step"`
+}
+
+// MicroPair compares the rewritten grant path against the frozen baseline
+// at one population size.
+type MicroPair struct {
+	N        int     `json:"n"`
+	New      Micro   `json:"new"`
+	Baseline Micro   `json:"baseline"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// GridEntry is one (algorithm, n, policy, crash plan) configuration.
+type GridEntry struct {
+	Algorithm   string  `json:"algorithm"`
+	N           int     `json:"n"`
+	Policy      string  `json:"policy"`
+	CrashPlan   string  `json:"crash_plan"`
+	Runs        int     `json:"runs"`
+	TotalSteps  int64   `json:"total_steps"`
+	MaxSteps    int64   `json:"max_steps"`
+	PaperBound  int64   `json:"paper_bound,omitempty"` // 0 when the paper states no closed-form bound for this stage
+	NsPerStep   float64 `json:"ns_per_step"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	AllocsStep  float64 `json:"allocs_per_step"`
+	Crashes     int     `json:"crashes"`
+}
+
+// Report is the whole trajectory file.
+type Report struct {
+	PR         int         `json:"pr"`
+	Suite      string      `json:"suite"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Quick      bool        `json:"quick"`
+	StepN      []Micro     `json:"stepn_batched"`
+	Micro      []MicroPair `json:"controller_step"`
+	Grid       []GridEntry `json:"grid"`
+}
+
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// measureNewStep drives the rewritten controller for steps grants through
+// the production decision loop (round-robin iterator policy).
+func measureNewStep(n int, steps int64) Micro {
+	var r shmem.Reg
+	c := sched.NewController(n, nil, func(p *shmem.Proc) {
+		for {
+			p.Read(&r)
+		}
+	})
+	defer c.Abort()
+	rr := &sched.RoundRobin{}
+	m0 := mallocs()
+	start := time.Now()
+	for i := int64(0); i < steps; i++ {
+		c.Step(rr.NextIter(c))
+	}
+	el := time.Since(start)
+	dm := mallocs() - m0
+	return Micro{
+		Name:        "controller_step",
+		N:           n,
+		Steps:       steps,
+		NsPerStep:   float64(el.Nanoseconds()) / float64(steps),
+		StepsPerSec: float64(steps) / el.Seconds(),
+		AllocsStep:  float64(dm) / float64(steps),
+	}
+}
+
+// measureBaselineStep drives the frozen seed controller identically (its
+// only decision API: allocated Pending slice per decision).
+func measureBaselineStep(n int, steps int64) Micro {
+	var r shmem.Reg
+	c := baseline.NewController(n, nil, func(p *shmem.Proc) {
+		for {
+			p.Read(&r)
+		}
+	})
+	defer c.Abort()
+	rr := &baseline.RoundRobin{}
+	m0 := mallocs()
+	start := time.Now()
+	for i := int64(0); i < steps; i++ {
+		c.Step(rr.Next(c.Pending()))
+	}
+	el := time.Since(start)
+	dm := mallocs() - m0
+	return Micro{
+		Name:        "baseline_step",
+		N:           n,
+		Steps:       steps,
+		NsPerStep:   float64(el.Nanoseconds()) / float64(steps),
+		StepsPerSec: float64(steps) / el.Seconds(),
+		AllocsStep:  float64(dm) / float64(steps),
+	}
+}
+
+// measureStepN drives batched grants of size k on an 8-process controller.
+func measureStepN(k int, steps int64) Micro {
+	var r shmem.Reg
+	c := sched.NewController(8, nil, func(p *shmem.Proc) {
+		for {
+			p.Read(&r)
+		}
+	})
+	defer c.Abort()
+	rr := &sched.RoundRobin{}
+	m0 := mallocs()
+	start := time.Now()
+	for i := int64(0); i < steps; i += int64(k) {
+		c.StepN(rr.NextIter(c), k)
+	}
+	el := time.Since(start)
+	dm := mallocs() - m0
+	return Micro{
+		Name:        fmt.Sprintf("stepn_k=%d", k),
+		N:           8,
+		Steps:       steps,
+		NsPerStep:   float64(el.Nanoseconds()) / float64(steps),
+		StepsPerSec: float64(steps) / el.Seconds(),
+		AllocsStep:  float64(dm) / float64(steps),
+	}
+}
+
+// algo builds one driven workload: body runs a fresh instance per run, and
+// bound is the paper's per-process step bound when the stage states one.
+type algo struct {
+	name string
+	// build returns the per-run body plus the paper bound (0 = none).
+	build func(n int, seed uint64) (sched.Body, int64)
+}
+
+var algos = []algo{
+	{"basic", func(n int, seed uint64) (sched.Body, int64) {
+		r := core.NewBasic(n, 1<<10, core.Config{Seed: seed})
+		return func(p *shmem.Proc) { r.Rename(p, p.Name()) }, r.MaxSteps()
+	}},
+	{"efficient", func(n int, seed uint64) (sched.Body, int64) {
+		r := core.NewEfficient(n, 0, core.Config{Seed: seed})
+		return func(p *shmem.Proc) { r.Rename(p, p.Name()) }, 0
+	}},
+	{"adaptive", func(n int, seed uint64) (sched.Body, int64) {
+		r := core.NewAdaptive(n, core.Config{Seed: seed})
+		return func(p *shmem.Proc) { r.Rename(p, p.Name()) }, 0
+	}},
+	{"polylog", func(n int, seed uint64) (sched.Body, int64) {
+		// N >> k so the epoch construction engages (at small N/k the
+		// practical profile is already at its fixpoint and PolyLog is the
+		// identity, which would benchmark nothing).
+		r := core.NewPolyLog(n, 1<<16, core.Config{Seed: seed})
+		return func(p *shmem.Proc) { r.Rename(p, p.Name()) }, r.MaxSteps()
+	}},
+	{"afrename", func(n int, seed uint64) (sched.Body, int64) {
+		r := afrename.New(n)
+		return func(p *shmem.Proc) { r.Rename(p, p.ID(), p.Name()) }, 0
+	}},
+	{"marename", func(n int, seed uint64) (sched.Body, int64) {
+		g := marename.NewGrid(n)
+		return func(p *shmem.Proc) { g.Rename(p, p.Name()) }, 0
+	}},
+	{"compete", func(n int, seed uint64) (sched.Body, int64) {
+		f := compete.NewField(2 * n)
+		return func(p *shmem.Proc) {
+			for j := 0; j < f.Len(); j++ {
+				if compete.Compete(p, f.Pair(j), p.Name()) {
+					return
+				}
+			}
+		}, int64(5 * 2 * n) // 5 steps per pair over 2n pairs
+	}},
+	{"snapshot", func(n int, seed uint64) (sched.Body, int64) {
+		o := snapshot.New[int64](n)
+		return func(p *shmem.Proc) {
+			for round := 0; round < 4; round++ {
+				o.Update(p, p.ID(), int64(round))
+				o.Scan(p)
+			}
+		}, 0
+	}},
+}
+
+type policySpec struct {
+	name string
+	mk   func(seed uint64) sched.Policy
+}
+
+var policies = []policySpec{
+	{"roundrobin", func(uint64) sched.Policy { return &sched.RoundRobin{} }},
+	{"random", func(seed uint64) sched.Policy { return sched.NewRandom(seed) }},
+}
+
+type planSpec struct {
+	name string
+	mk   func(n int, seed uint64) sched.CrashPlan
+}
+
+var plans = []planSpec{
+	{"none", func(int, uint64) sched.CrashPlan { return nil }},
+	{"allbut0", func(int, uint64) sched.CrashPlan { return sched.CrashAllBut(0) }},
+	{"random10", func(n int, seed uint64) sched.CrashPlan { return sched.RandomCrashes(seed, 0.1, n/2) }},
+}
+
+func runGrid(sizes []int, runs int) []GridEntry {
+	var out []GridEntry
+	for _, a := range algos {
+		for _, n := range sizes {
+			for _, pol := range policies {
+				for _, plan := range plans {
+					e := GridEntry{Algorithm: a.name, N: n, Policy: pol.name, CrashPlan: plan.name, Runs: runs}
+					var elapsed time.Duration
+					var dm uint64
+					for run := 0; run < runs; run++ {
+						seed := uint64(run*2654435761 + 1)
+						body, bound := a.build(n, seed)
+						e.PaperBound = bound
+						c := sched.NewController(n, nil, body)
+						m0 := mallocs()
+						start := time.Now()
+						res := c.Run(pol.mk(seed), plan.mk(n, seed))
+						elapsed += time.Since(start)
+						dm += mallocs() - m0
+						if res.Err != nil {
+							fmt.Fprintf(os.Stderr, "bench: %s n=%d %s/%s: %v\n",
+								a.name, n, pol.name, plan.name, res.Err)
+							os.Exit(1)
+						}
+						e.TotalSteps += res.TotalSteps()
+						if ms := res.MaxSteps(); ms > e.MaxSteps {
+							e.MaxSteps = ms
+						}
+						for _, crashed := range res.Crashed {
+							if crashed {
+								e.Crashes++
+							}
+						}
+					}
+					if e.TotalSteps > 0 {
+						e.NsPerStep = float64(elapsed.Nanoseconds()) / float64(e.TotalSteps)
+						e.StepsPerSec = float64(e.TotalSteps) / elapsed.Seconds()
+						e.AllocsStep = float64(dm) / float64(e.TotalSteps)
+					}
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output JSON path ('-' for stdout)")
+	quick := flag.Bool("quick", false, "small grid for CI smoke runs")
+	runs := flag.Int("runs", 3, "driven executions per grid configuration")
+	flag.Parse()
+
+	microSteps := int64(200000)
+	stepnSteps := int64(2000000)
+	sizes := []int{4, 8, 16, 32}
+	microSizes := []int{1, 8, 64, 512, 4096}
+	if *quick {
+		microSteps, stepnSteps = 20000, 200000
+		sizes = []int{4, 8}
+		microSizes = []int{1, 64, 512}
+		*runs = 1
+	}
+
+	rep := Report{
+		PR:         1,
+		Suite:      "zero-allocation lockstep scheduler",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	for _, n := range microSizes {
+		steps := microSteps
+		if n >= 4096 && !*quick {
+			steps = microSteps / 4 // baseline is O(n)/step; keep the run bounded
+		}
+		nw := measureNewStep(n, steps)
+		bl := measureBaselineStep(n, steps)
+		rep.Micro = append(rep.Micro, MicroPair{
+			N: n, New: nw, Baseline: bl,
+			Speedup: nw.StepsPerSec / bl.StepsPerSec,
+		})
+		fmt.Fprintf(os.Stderr, "controller_step n=%-5d new %8.1f ns/step (%.2f allocs)  baseline %8.1f ns/step (%.2f allocs)  speedup %.2fx\n",
+			n, nw.NsPerStep, nw.AllocsStep, bl.NsPerStep, bl.AllocsStep, nw.StepsPerSec/bl.StepsPerSec)
+	}
+	for _, k := range []int{8, 64, 512} {
+		m := measureStepN(k, stepnSteps)
+		rep.StepN = append(rep.StepN, m)
+		fmt.Fprintf(os.Stderr, "stepn k=%-4d %8.2f ns/step (%.2f allocs)\n", k, m.NsPerStep, m.AllocsStep)
+	}
+	rep.Grid = runGrid(sizes, *runs)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d grid entries)\n", *out, len(rep.Grid))
+}

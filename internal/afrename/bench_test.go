@@ -1,0 +1,49 @@
+package afrename
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// BenchmarkRename measures whole driven executions of the snapshot-based
+// AF(k,N) stage: k contenders acquire names under a seeded random schedule.
+func BenchmarkRename(b *testing.B) {
+	const k = 8
+	b.ReportAllocs()
+	var totalSteps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := New(k)
+		b.StartTimer()
+		res := sched.Run(k, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+			if _, ok := r.Rename(p, p.ID(), p.Name()); !ok {
+				panic("afrename: unbounded rename must decide")
+			}
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		totalSteps += res.TotalSteps()
+	}
+	b.StopTimer()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+}
+
+// BenchmarkRenameSolo measures the uncontended fast path: one contender,
+// free-running.
+func BenchmarkRenameSolo(b *testing.B) {
+	b.ReportAllocs()
+	p := shmem.NewProc(0, 1, nil)
+	for i := 0; i < b.N; i++ {
+		r := New(4)
+		if _, ok := r.Rename(p, 0, 42); !ok {
+			b.Fatal("solo rename must decide")
+		}
+	}
+}

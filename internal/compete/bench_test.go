@@ -1,0 +1,44 @@
+package compete
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// BenchmarkCompeteSolo measures the uncontended Figure 1 competition (5
+// local steps) with the pair reset between iterations, free-running.
+func BenchmarkCompeteSolo(b *testing.B) {
+	b.ReportAllocs()
+	p := shmem.NewProc(0, 1, nil)
+	var pr Pair
+	for i := 0; i < b.N; i++ {
+		pr.H.Poke(shmem.Null)
+		pr.R.Poke(shmem.Null)
+		if !Compete(p, &pr, 7) {
+			b.Fatal("solo compete must win")
+		}
+	}
+}
+
+// BenchmarkCompeteDriven measures 4 contenders racing over a fresh field of
+// 8 pairs under the controller with a seeded random schedule.
+func BenchmarkCompeteDriven(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := NewField(8)
+		b.StartTimer()
+		res := sched.Run(4, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+			for j := 0; j < f.Len(); j++ {
+				if Compete(p, f.Pair(j), p.Name()) {
+					return
+				}
+			}
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}

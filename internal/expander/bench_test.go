@@ -1,0 +1,50 @@
+package expander
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// BenchmarkNeighbor measures the per-edge neighbor computation, the
+// innermost operation of every expander-based renaming stage.
+func BenchmarkNeighbor(b *testing.B) {
+	g := New(1<<10, 32, Practical, 1)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.Neighbor(int64(i%g.N)+1, i%g.Degree)
+	}
+	_ = sink
+}
+
+// BenchmarkNeighbors measures a full neighborhood sweep into a reused
+// buffer.
+func BenchmarkNeighbors(b *testing.B) {
+	g := New(1<<10, 32, Practical, 1)
+	buf := make([]int, 0, g.Degree)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(int64(i%g.N)+1, buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkNew measures graph construction, which dominates renamer setup.
+func BenchmarkNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(1<<10, 32, Practical, uint64(i)+1)
+	}
+}
+
+// BenchmarkCheckLossless measures the Lemma 2 verifier at a small trial
+// count.
+func BenchmarkCheckLossless(b *testing.B) {
+	g := New(1<<8, 16, Practical, 1)
+	rng := xrand.New(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.CheckLossless(4, rng)
+	}
+}

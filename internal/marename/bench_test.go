@@ -1,0 +1,51 @@
+package marename
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// BenchmarkGridRename measures whole driven executions of the splitter-grid
+// stage: k contenders descend the grid under a seeded random schedule.
+func BenchmarkGridRename(b *testing.B) {
+	const k = 8
+	b.ReportAllocs()
+	var totalSteps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := NewGrid(k)
+		b.StartTimer()
+		res := sched.Run(k, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+			if _, ok := g.Rename(p, p.Name()); !ok {
+				panic("marename: grid sized for k must assign")
+			}
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		totalSteps += res.TotalSteps()
+	}
+	b.StopTimer()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+}
+
+// BenchmarkGridRenameSolo measures the uncontended diagonal descent,
+// free-running.
+func BenchmarkGridRenameSolo(b *testing.B) {
+	b.ReportAllocs()
+	p := shmem.NewProc(0, 7, nil)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := NewGrid(8)
+		b.StartTimer()
+		if _, ok := g.Rename(p, 7); !ok {
+			b.Fatal("solo grid rename must assign")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package baseline is the frozen pre-refactor scheduler, kept verbatim from
+// the seed so every future performance claim about the sched hot path is
+// measured against a fixed reference rather than a moving one. It is the
+// "checked-in pre-refactor baseline" of PR 1: the per-step double channel
+// rendezvous (request channel + select in quiesce, grant channel per
+// process) and the freshly allocated Pending slice per scheduling decision.
+//
+// Do not modify this package except to track interface changes in shmem; it
+// exists only to be benchmarked against (see BenchmarkBaselineControllerStep
+// in internal/sched and the micro section of cmd/bench).
+package baseline
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/shmem"
+)
+
+// Body is the algorithm a process runs.
+type Body func(p *shmem.Proc)
+
+type procPhase uint8
+
+const (
+	phaseRunning procPhase = iota
+	phasePending
+	phaseDone
+	phaseCrashed
+	phasePanicked
+)
+
+type request struct {
+	pid    int
+	intent shmem.Intent
+}
+
+type finish struct {
+	pid     int
+	crashed bool
+	err     error
+}
+
+type grant struct {
+	crash bool
+}
+
+// Controller is the seed scheduler: channel rendezvous per step, allocating
+// Pending per decision.
+type Controller struct {
+	n      int
+	procs  []*shmem.Proc
+	phase  []procPhase
+	intent []shmem.Intent
+	err    []error
+
+	reqCh    chan request
+	finCh    chan finish
+	grantChs []chan grant
+	active   int
+}
+
+type gate struct {
+	c   *Controller
+	pid int
+}
+
+// Step publishes the intent and blocks until granted.
+func (g gate) Step(pid int, intent shmem.Intent) {
+	g.c.reqCh <- request{pid: pid, intent: intent}
+	if gr := <-g.c.grantChs[pid]; gr.crash {
+		panic(shmem.Crash{})
+	}
+}
+
+// NewController starts n process goroutines running body and returns once
+// every process is blocked on its first operation or finished.
+func NewController(n int, names []int64, body Body) *Controller {
+	if n <= 0 {
+		panic("baseline: controller needs at least one process")
+	}
+	if names != nil && len(names) != n {
+		panic("baseline: names length must equal n")
+	}
+	c := &Controller{
+		n:        n,
+		procs:    make([]*shmem.Proc, n),
+		phase:    make([]procPhase, n),
+		intent:   make([]shmem.Intent, n),
+		err:      make([]error, n),
+		reqCh:    make(chan request, n),
+		finCh:    make(chan finish, n),
+		grantChs: make([]chan grant, n),
+	}
+	for i := 0; i < n; i++ {
+		name := int64(i + 1)
+		if names != nil {
+			name = names[i]
+		}
+		c.grantChs[i] = make(chan grant, 1)
+		c.procs[i] = shmem.NewProc(i, name, gate{c: c, pid: i})
+	}
+	c.active = n
+	for i := 0; i < n; i++ {
+		go c.runProc(i, body)
+	}
+	c.quiesce()
+	return c
+}
+
+func (c *Controller) runProc(pid int, body Body) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+			c.finCh <- finish{pid: pid}
+		case shmem.Crash:
+			c.finCh <- finish{pid: pid, crashed: true}
+		default:
+			c.finCh <- finish{
+				pid: pid,
+				err: fmt.Errorf("baseline: process %d panicked: %v\n%s", pid, r, debug.Stack()),
+			}
+		}
+	}()
+	body(c.procs[pid])
+}
+
+func (c *Controller) quiesce() {
+	for c.active > 0 {
+		select {
+		case r := <-c.reqCh:
+			c.phase[r.pid] = phasePending
+			c.intent[r.pid] = r.intent
+			c.active--
+		case f := <-c.finCh:
+			switch {
+			case f.err != nil:
+				c.phase[f.pid] = phasePanicked
+				c.err[f.pid] = f.err
+			case f.crashed:
+				c.phase[f.pid] = phaseCrashed
+			default:
+				c.phase[f.pid] = phaseDone
+			}
+			c.active--
+		}
+	}
+}
+
+// Pending returns the pids blocked on a shared-memory operation, in pid
+// order. The slice is freshly allocated (the seed behavior under test).
+func (c *Controller) Pending() []int {
+	out := make([]int, 0, c.n)
+	for pid, ph := range c.phase {
+		if ph == phasePending {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// Step grants one operation to a pending process.
+func (c *Controller) Step(pid int) {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("baseline: Step(%d) of non-pending process", pid))
+	}
+	c.phase[pid] = phaseRunning
+	c.active++
+	c.grantChs[pid] <- grant{}
+	c.quiesce()
+}
+
+// Crash terminates a pending process before its posted operation executes.
+func (c *Controller) Crash(pid int) {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("baseline: Crash(%d) of non-pending process", pid))
+	}
+	c.phase[pid] = phaseRunning
+	c.active++
+	c.grantChs[pid] <- grant{crash: true}
+	c.quiesce()
+}
+
+// Abort crashes every pending process.
+func (c *Controller) Abort() {
+	for {
+		pending := c.Pending()
+		if len(pending) == 0 {
+			return
+		}
+		for _, pid := range pending {
+			c.Crash(pid)
+		}
+	}
+}
+
+// RoundRobin is the seed policy (including the seed's skip-pid-0 quirk,
+// irrelevant to throughput measurement).
+type RoundRobin struct {
+	last int
+}
+
+// Next picks the next pid in cyclic order.
+func (rr *RoundRobin) Next(pending []int) int {
+	for _, pid := range pending {
+		if pid > rr.last {
+			rr.last = pid
+			return pid
+		}
+	}
+	rr.last = pending[0]
+	return pending[0]
+}

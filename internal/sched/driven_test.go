@@ -1,0 +1,388 @@
+package sched
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+// TestRoundRobinStartsAtZero is the regression test for the seed bug where
+// the zero-valued RoundRobin skipped pid 0 on the very first decision
+// (last == 0 made the pid > last scan begin at 1). The exact grant order
+// must be a clean cycle starting at pid 0.
+func TestRoundRobinStartsAtZero(t *testing.T) {
+	var log []int
+	rr := &RoundRobin{}
+	var r shmem.Reg
+	res := Run(3, nil, PolicyFunc(func(c *Controller, pending []int) int {
+		pid := rr.Next(c, pending)
+		log = append(log, pid)
+		return pid
+	}), nil, counterBody(&r))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// 3 processes x 2 steps each, strict cycle from pid 0.
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(log) != len(want) {
+		t.Fatalf("grant order %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (first divergence at decision %d)", log, want, i)
+		}
+	}
+}
+
+// TestRoundRobinIterMatchesSlice pins the IterPolicy fast path to the slice
+// policy: driving two identical executions through rr.Next and rr.NextIter
+// must produce the same grant order.
+func TestRoundRobinIterMatchesSlice(t *testing.T) {
+	drive := func(useIter bool) []int {
+		var r shmem.Reg
+		c := NewController(5, nil, counterBody(&r))
+		rr := &RoundRobin{}
+		var log []int
+		buf := make([]int, 0, 5)
+		for c.PendingCount() > 0 {
+			var pid int
+			if useIter {
+				pid = rr.NextIter(c)
+			} else {
+				pid = rr.Next(c, c.PendingInto(buf))
+			}
+			log = append(log, pid)
+			c.Step(pid)
+		}
+		return log
+	}
+	slicePath, iterPath := drive(false), drive(true)
+	if len(slicePath) != len(iterPath) {
+		t.Fatalf("lengths differ: %v vs %v", slicePath, iterPath)
+	}
+	for i := range slicePath {
+		if slicePath[i] != iterPath[i] {
+			t.Fatalf("orders diverge at %d: %v vs %v", i, slicePath, iterPath)
+		}
+	}
+}
+
+// TestPendingIterator exercises PendingInto / NextPending / PendingCount
+// against the allocating Pending across a driven execution, including pids
+// beyond one bitmap word.
+func TestPendingIterator(t *testing.T) {
+	const n = 70 // spans two uint64 words
+	var r shmem.Reg
+	c := NewController(n, nil, counterBody(&r))
+	defer c.Abort()
+	buf := make([]int, 0, n)
+	for steps := 0; c.PendingCount() > 0 && steps < 50; steps++ {
+		want := c.Pending()
+		got := c.PendingInto(buf)
+		if len(got) != len(want) {
+			t.Fatalf("PendingInto len %d, Pending len %d", len(got), len(want))
+		}
+		var iter []int
+		for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+			iter = append(iter, pid)
+		}
+		if len(iter) != len(want) {
+			t.Fatalf("NextPending walk len %d, Pending len %d", len(iter), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] || iter[i] != want[i] {
+				t.Fatalf("pending mismatch at %d: slice %d, into %d, iter %d", i, want[i], got[i], iter[i])
+			}
+		}
+		if c.PendingCount() != len(want) {
+			t.Fatalf("PendingCount %d, want %d", c.PendingCount(), len(want))
+		}
+		// Step an arbitrary (varying) pending process.
+		c.Step(want[steps%len(want)])
+	}
+}
+
+// TestStepNConsumesRun verifies batched grants: one StepN(k) delivers
+// exactly k operations to the process without intermediate decisions, and
+// the per-process step accounting matches.
+func TestStepNConsumesRun(t *testing.T) {
+	var r shmem.Reg
+	c := NewController(2, nil, func(p *shmem.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Read(&r)
+		}
+	})
+	c.StepN(0, 7)
+	if got := c.Proc(0).Steps(); got != 7 {
+		t.Fatalf("after StepN(0, 7): process 0 took %d steps, want 7", got)
+	}
+	if got := c.Proc(1).Steps(); got != 0 {
+		t.Fatalf("process 1 took %d steps, want 0", got)
+	}
+	if c.PendingCount() != 2 {
+		t.Fatalf("PendingCount %d, want 2", c.PendingCount())
+	}
+	// Surplus budget is discarded when the process finishes early.
+	c.StepN(0, 100)
+	if !c.Done(0) {
+		t.Fatal("process 0 not done after exhausting its 10 steps")
+	}
+	if got := c.Proc(0).Steps(); got != 10 {
+		t.Fatalf("process 0 took %d steps, want 10", got)
+	}
+	c.StepN(1, 10)
+	if !c.Done(1) {
+		t.Fatal("process 1 not done")
+	}
+}
+
+// TestStepNIntentAfterRun checks that after a batched run the process's
+// published intent is its (k+1)-th operation.
+func TestStepNIntentAfterRun(t *testing.T) {
+	var a, b shmem.Reg
+	c := NewController(1, nil, func(p *shmem.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Read(&a)
+		}
+		p.Write(&b, 1)
+	})
+	defer c.Abort()
+	c.StepN(0, 3) // consumes the three reads of a
+	in := c.Intent(0)
+	if in.Kind != shmem.OpWrite || in.Reg != any(&b) {
+		t.Fatalf("intent after batched run = %+v, want write of b", in)
+	}
+}
+
+// TestAbortPartialExecution drives a few steps, aborts, and verifies every
+// process is released and marked crashed with no result corruption — the
+// cleanup path for partially driven executions.
+func TestAbortPartialExecution(t *testing.T) {
+	var r shmem.Reg
+	c := NewController(5, nil, func(p *shmem.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Read(&r)
+		}
+	})
+	for i := 0; i < 7; i++ { // a few grants before aborting
+		c.Step(c.NextPending(-1))
+	}
+	c.Abort()
+	if got := c.PendingCount(); got != 0 {
+		t.Fatalf("%d processes still pending after Abort", got)
+	}
+	for pid := 0; pid < 5; pid++ {
+		if !c.Crashed(pid) {
+			t.Fatalf("process %d not crashed after Abort", pid)
+		}
+		if c.Done(pid) {
+			t.Fatalf("process %d reported done after Abort", pid)
+		}
+	}
+	// Abort is idempotent.
+	c.Abort()
+}
+
+// TestAbortAfterSomeFinish aborts when part of the population already
+// finished normally: only the stragglers are crashed.
+func TestAbortAfterSomeFinish(t *testing.T) {
+	var r shmem.Reg
+	c := NewController(3, nil, func(p *shmem.Proc) {
+		n := 1
+		if p.ID() == 2 {
+			n = 50
+		}
+		for i := 0; i < n; i++ {
+			p.Read(&r)
+		}
+	})
+	// Drive processes 0 and 1 to completion (1 step each).
+	c.Step(0)
+	c.Step(1)
+	if !c.Done(0) || !c.Done(1) {
+		t.Fatal("processes 0 and 1 should have finished")
+	}
+	c.Abort()
+	if c.Crashed(0) || c.Crashed(1) {
+		t.Fatal("finished processes must not be marked crashed by Abort")
+	}
+	if !c.Crashed(2) {
+		t.Fatal("straggler not crashed by Abort")
+	}
+}
+
+// TestRunFreeCrashRecovery covers RunFree's shmem.Crash recovery path: a
+// body that raises the crash panic is recorded as crashed, not as an error,
+// and the others are unaffected.
+func TestRunFreeCrashRecovery(t *testing.T) {
+	var r shmem.Reg
+	res := RunFree(4, nil, func(p *shmem.Proc) {
+		if p.ID()%2 == 0 {
+			p.Read(&r)
+			panic(shmem.Crash{})
+		}
+		p.Read(&r)
+		p.Read(&r)
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for pid := 0; pid < 4; pid++ {
+		wantCrash := pid%2 == 0
+		if res.Crashed[pid] != wantCrash {
+			t.Fatalf("process %d crashed=%v, want %v", pid, res.Crashed[pid], wantCrash)
+		}
+		wantSteps := int64(2)
+		if wantCrash {
+			wantSteps = 1
+		}
+		if res.Steps[pid] != wantSteps {
+			t.Fatalf("process %d steps=%d, want %d", pid, res.Steps[pid], wantSteps)
+		}
+	}
+}
+
+// TestRunFreeFirstPanicWins verifies Result.Err propagation when multiple
+// bodies panic under free-running concurrency: some error is captured, it
+// carries the panic payload, and the run still terminates. Run under -race
+// in CI.
+func TestRunFreeFirstPanicWins(t *testing.T) {
+	res := RunFree(6, nil, func(p *shmem.Proc) {
+		if p.ID() >= 3 {
+			panic("multi boom")
+		}
+	})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "multi boom") {
+		t.Fatalf("expected a captured panic mentioning 'multi boom', got %v", res.Err)
+	}
+}
+
+// TestControllerPanicReleasesDriver checks Result.Err propagation through a
+// driven execution when a body panics mid-run: the driver's Run loop must
+// terminate and surface the error.
+func TestControllerPanicReleasesDriver(t *testing.T) {
+	var r shmem.Reg
+	res := Run(3, nil, &RoundRobin{}, nil, func(p *shmem.Proc) {
+		p.Read(&r)
+		if p.ID() == 1 {
+			panic("driven boom")
+		}
+		p.Read(&r)
+	})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "driven boom") {
+		t.Fatalf("expected captured panic, got %v", res.Err)
+	}
+	if res.Err != nil && !strings.Contains(res.Err.Error(), "process 1") {
+		t.Fatalf("error should name process 1: %v", res.Err)
+	}
+}
+
+// TestParallelRuns checks the fan-out helper: m independent seeded
+// executions, each complete and deterministic per seed.
+func TestParallelRuns(t *testing.T) {
+	const m = 16
+	var bodies atomic.Int64
+	results := ParallelRuns(m, func(run int) RunSpec {
+		var r shmem.Reg
+		return RunSpec{
+			N:      4,
+			Policy: NewRandom(uint64(run) + 1),
+			Body: func(p *shmem.Proc) {
+				bodies.Add(1)
+				p.Read(&r)
+				p.Write(&r, int64(p.ID()+1))
+			},
+		}
+	})
+	if len(results) != m {
+		t.Fatalf("got %d results, want %d", len(results), m)
+	}
+	for run, res := range results {
+		if res.Err != nil {
+			t.Fatalf("run %d: %v", run, res.Err)
+		}
+		if res.TotalSteps() != 8 {
+			t.Fatalf("run %d took %d total steps, want 8", run, res.TotalSteps())
+		}
+	}
+	if got := bodies.Load(); got != m*4 {
+		t.Fatalf("%d bodies executed, want %d", got, m*4)
+	}
+	if ParallelRuns(0, nil) != nil {
+		t.Fatal("ParallelRuns(0) should return nil")
+	}
+}
+
+// TestParallelRunsCrashPlans fans out executions with distinct crash plans
+// and verifies per-run crash accounting stays independent.
+func TestParallelRunsCrashPlans(t *testing.T) {
+	results := ParallelRuns(8, func(run int) RunSpec {
+		var r shmem.Reg
+		return RunSpec{
+			N:      3,
+			Policy: &RoundRobin{},
+			Plan:   CrashAllBut(run % 3),
+			Body: func(p *shmem.Proc) {
+				p.Read(&r)
+				p.Write(&r, p.Name())
+			},
+		}
+	})
+	for run, res := range results {
+		if res.Err != nil {
+			t.Fatalf("run %d: %v", run, res.Err)
+		}
+		survivor := run % 3
+		for pid, crashed := range res.Crashed {
+			if (pid != survivor) != crashed {
+				t.Fatalf("run %d: process %d crashed=%v (survivor %d)", run, pid, crashed, survivor)
+			}
+		}
+	}
+}
+
+// TestStepGrantPathZeroAlloc asserts the acceptance criterion directly: the
+// steady-state decision+grant loop (iterator policy and slice policy alike)
+// performs zero heap allocations.
+func TestStepGrantPathZeroAlloc(t *testing.T) {
+	var r shmem.Reg
+	c := NewController(8, nil, spinReader(&r))
+	defer c.Abort()
+	rr := &RoundRobin{}
+	buf := make([]int, 0, 8)
+	iterLoop := testing.AllocsPerRun(500, func() {
+		c.Step(rr.NextIter(c))
+	})
+	if iterLoop != 0 {
+		t.Fatalf("iterator grant loop allocates %.1f/op, want 0", iterLoop)
+	}
+	sliceLoop := testing.AllocsPerRun(500, func() {
+		c.Step(rr.Next(c, c.PendingInto(buf)))
+	})
+	if sliceLoop != 0 {
+		t.Fatalf("slice grant loop allocates %.1f/op, want 0", sliceLoop)
+	}
+	batched := testing.AllocsPerRun(500, func() {
+		c.StepN(rr.NextIter(c), 32)
+	})
+	if batched != 0 {
+		t.Fatalf("batched grant loop allocates %.1f/op, want 0", batched)
+	}
+}
+
+// TestStepNValidation pins the panic contract of the batched grant.
+func TestStepNValidation(t *testing.T) {
+	var r shmem.Reg
+	c := NewController(1, nil, counterBody(&r))
+	defer c.Abort()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("StepN with k=0 should panic")
+			}
+		}()
+		c.StepN(0, 0)
+	}()
+}

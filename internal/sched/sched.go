@@ -16,12 +16,25 @@
 // Crashes are modeled by unwinding the process goroutine with a
 // panic(shmem.Crash{}) raised inside the gate; the runner recovers it. A
 // crashed process takes no further steps, matching the model.
+//
+// The controller's grant path is engineered for throughput, since every time
+// bound in the paper is stated in local steps and simulation cost per step
+// bounds the reachable n and schedule count. A step handoff is a single
+// mutex-protected park/unpark pair per side (no channel select, no per-step
+// data transfer), the pending set is maintained incrementally as a bitmap
+// (PendingInto and NextPending expose it without allocating), and StepN
+// grants a run of consecutive steps with one wakeup. A granted step is
+// zero-allocation in steady state; see BenchmarkControllerStep and the
+// frozen pre-refactor implementation in internal/sched/baseline.
 package sched
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/shmem"
 	"repro/internal/xrand"
@@ -35,32 +48,38 @@ type Body func(p *shmem.Proc)
 type procPhase uint8
 
 const (
-	phaseRunning procPhase = iota // computing locally (or not yet started)
-	phasePending                  // blocked, intent posted, awaiting grant
-	phaseDone                     // finished normally
-	phaseCrashed                  // crash-injected
-	phasePanicked                 // failed with an unexpected panic
+	phaseRunning  procPhase = iota // computing locally (or not yet started)
+	phasePending                   // blocked, intent posted, awaiting grant
+	phaseDone                      // finished normally
+	phaseCrashed                   // crash-injected
+	phasePanicked                  // failed with an unexpected panic
 )
 
-type request struct {
-	pid    int
-	intent shmem.Intent
-}
-
-type finish struct {
-	pid     int
-	crashed bool
-	err     error
-}
-
-type grant struct {
-	crash bool
+// seat is the per-process handoff slot. The grant itself is a lock-free
+// publication: the driver writes crash and budget, then releases them with
+// granted.Store(1); the process observes the flag (spinning briefly, then
+// parking on cond), consumes the grant, and resets the flag. parked
+// implements the spin-then-park protocol: the process sets it under c.mu
+// before waiting, and the driver signals only when it is set, so the common
+// fast handoff never touches the condition variable. budget is read and
+// decremented by the process goroutine without any lock while it runs — the
+// grant publication orders those accesses against the driver's write.
+type seat struct {
+	granted atomic.Uint32 // 1 while a grant is outstanding
+	parked  atomic.Bool   // process is parked on cond awaiting the grant
+	cond    sync.Cond     // L = &Controller.mu
+	crash   bool
+	budget  int // pre-granted steps the process may take without blocking
 }
 
 // Controller runs n processes in lock step. At any decision point every
 // live process is either finished or blocked with a published Intent; the
 // caller (a Policy, or adversary code driving the Controller directly)
 // picks which process performs its next shared-memory operation.
+//
+// The Controller is not itself safe for concurrent driving: exactly one
+// goroutine may call Step/StepN/Crash/Run at a time. (Use ParallelRuns for
+// many independent executions.)
 type Controller struct {
 	n      int
 	procs  []*shmem.Proc
@@ -68,10 +87,16 @@ type Controller struct {
 	intent []shmem.Intent
 	err    []error
 
-	reqCh    chan request
-	finCh    chan finish
-	grantChs []chan grant
-	active   int // processes in phaseRunning
+	mu           sync.Mutex
+	idle         sync.Cond    // driver parks here until active == 0
+	driverParked atomic.Bool  // driver is parked on idle
+	seats        []seat       // one handoff slot per process
+	active       atomic.Int32 // processes currently computing (not blocked/finished)
+
+	pbits    []uint64 // pending bitmap: bit pid set ⟺ phase[pid] == phasePending
+	npending int
+
+	pendBuf []int // reused by Run for PendingInto
 }
 
 // gate adapts the Controller to shmem.Gate for one process.
@@ -80,13 +105,80 @@ type gate struct {
 	pid int
 }
 
+// Handoff tuning. Both sides yield to the runtime scheduler a bounded number
+// of times before parking on a condition variable: with cooperative
+// goroutines a yield is enough for the counterpart to run, so the common
+// grant/quiesce handoff costs a goroutine switch rather than a full
+// park/unpark round trip. The budgets are deliberately small — when the
+// counterpart does not show up quickly (long local computation, or the
+// policy is off granting other processes), parking is the right call.
+const (
+	quiesceYields = 8 // driver yields awaiting active == 0 before parking
+	grantYields   = 2 // process yields awaiting its grant before parking
+)
+
 // Step publishes the intent and blocks until granted. A crash grant unwinds
-// the goroutine.
+// the goroutine. When the process holds pre-granted budget from StepN the
+// step is consumed locally without locking or waking the driver.
 func (g gate) Step(pid int, intent shmem.Intent) {
-	g.c.reqCh <- request{pid: pid, intent: intent}
-	if gr := <-g.c.grantChs[pid]; gr.crash {
+	c := g.c
+	s := &c.seats[pid]
+	if s.budget > 0 {
+		// Batched-grant fast path: the driver handed this process a run of
+		// steps and is waiting until the run is consumed; no other goroutine
+		// touches the seat meanwhile.
+		s.budget--
+		return
+	}
+	c.mu.Lock()
+	c.intent[pid] = intent
+	c.phase[pid] = phasePending
+	c.pbits[uint(pid)>>6] |= 1 << (uint(pid) & 63)
+	c.npending++
+	// With other processes pending the next grant is probably not ours, so
+	// park straight away; as the sole pending process the driver's only
+	// move is to grant (or crash) us, so briefly yield for it instead of
+	// paying a park/unpark round trip.
+	sole := c.npending == 1
+	if c.active.Add(-1) == 0 && c.driverParked.Load() {
+		c.idle.Signal()
+	}
+	if !sole {
+		c.parkLocked(s)
+	} else {
+		c.mu.Unlock()
+		granted := false
+		for i := 0; i < grantYields; i++ {
+			if s.granted.Load() != 0 {
+				granted = true
+				break
+			}
+			runtime.Gosched()
+		}
+		if !granted {
+			c.mu.Lock()
+			c.parkLocked(s)
+		}
+	}
+	s.granted.Store(0)
+	if s.crash {
+		s.crash = false
 		panic(shmem.Crash{})
 	}
+}
+
+// parkLocked blocks the calling process on its seat until a grant is
+// published, releasing c.mu on return. The parked flag is set and cleared
+// under the mutex and the grant flag is rechecked before every wait, which
+// together rule out a lost wakeup against grant's publish-then-signal
+// sequence.
+func (c *Controller) parkLocked(s *seat) {
+	s.parked.Store(true)
+	for s.granted.Load() == 0 {
+		s.cond.Wait()
+	}
+	s.parked.Store(false)
+	c.mu.Unlock()
 }
 
 // NewController starts n process goroutines running body and returns once
@@ -101,83 +193,122 @@ func NewController(n int, names []int64, body Body) *Controller {
 		panic("sched: names length must equal n")
 	}
 	c := &Controller{
-		n:        n,
-		procs:    make([]*shmem.Proc, n),
-		phase:    make([]procPhase, n),
-		intent:   make([]shmem.Intent, n),
-		err:      make([]error, n),
-		reqCh:    make(chan request, n),
-		finCh:    make(chan finish, n),
-		grantChs: make([]chan grant, n),
+		n:      n,
+		procs:  make([]*shmem.Proc, n),
+		phase:  make([]procPhase, n),
+		intent: make([]shmem.Intent, n),
+		err:    make([]error, n),
+		seats:  make([]seat, n),
+		pbits:  make([]uint64, (n+63)/64),
 	}
+	c.idle.L = &c.mu
 	for i := 0; i < n; i++ {
 		name := int64(i + 1)
 		if names != nil {
 			name = names[i]
 		}
-		c.grantChs[i] = make(chan grant, 1)
+		c.seats[i].cond.L = &c.mu
 		c.procs[i] = shmem.NewProc(i, name, gate{c: c, pid: i})
 	}
-	c.active = n
+	c.active.Store(int32(n))
 	for i := 0; i < n; i++ {
 		go c.runProc(i, body)
 	}
-	c.quiesce()
+	c.waitQuiesce()
 	return c
 }
 
 func (c *Controller) runProc(pid int, body Body) {
 	defer func() {
 		r := recover()
+		c.mu.Lock()
+		c.seats[pid].budget = 0 // surrender any unconsumed StepN grant
 		switch r := r.(type) {
 		case nil:
-			c.finCh <- finish{pid: pid}
+			c.phase[pid] = phaseDone
 		case shmem.Crash:
-			c.finCh <- finish{pid: pid, crashed: true}
+			c.phase[pid] = phaseCrashed
 		default:
-			c.finCh <- finish{
-				pid: pid,
-				err: fmt.Errorf("sched: process %d panicked: %v\n%s", pid, r, debug.Stack()),
-			}
+			c.phase[pid] = phasePanicked
+			c.err[pid] = fmt.Errorf("sched: process %d panicked: %v\n%s", pid, r, debug.Stack())
 		}
+		if c.active.Add(-1) == 0 && c.driverParked.Load() {
+			c.idle.Signal()
+		}
+		c.mu.Unlock()
 	}()
 	body(c.procs[pid])
 }
 
-// quiesce waits until no process is computing: each live process has posted
-// an intent or finished.
-func (c *Controller) quiesce() {
-	for c.active > 0 {
-		select {
-		case r := <-c.reqCh:
-			c.phase[r.pid] = phasePending
-			c.intent[r.pid] = r.intent
-			c.active--
-		case f := <-c.finCh:
-			switch {
-			case f.err != nil:
-				c.phase[f.pid] = phasePanicked
-				c.err[f.pid] = f.err
-			case f.crashed:
-				c.phase[f.pid] = phaseCrashed
-			default:
-				c.phase[f.pid] = phaseDone
-			}
-			c.active--
+// waitQuiesce blocks the driver until no process is computing: each live
+// process has posted an intent or finished. It yields a bounded number of
+// times first — the cooperative counterpart usually blocks within one
+// scheduler pass — and only then parks on the idle condition variable, so
+// the steady-state handoff never pays a park/unpark round trip.
+func (c *Controller) waitQuiesce() {
+	for i := 0; i < quiesceYields; i++ {
+		if c.active.Load() == 0 {
+			return
 		}
+		runtime.Gosched()
 	}
+	c.mu.Lock()
+	c.driverParked.Store(true)
+	for c.active.Load() > 0 {
+		c.idle.Wait()
+	}
+	c.driverParked.Store(false)
+	c.mu.Unlock()
 }
 
 // Pending returns the pids blocked on a shared-memory operation, in pid
-// order. The slice is freshly allocated.
+// order. The slice is freshly allocated; the driven hot loop should prefer
+// PendingInto or NextPending, which do not allocate.
 func (c *Controller) Pending() []int {
-	out := make([]int, 0, c.n)
-	for pid, ph := range c.phase {
-		if ph == phasePending {
-			out = append(out, pid)
+	return c.PendingInto(make([]int, 0, c.npending))
+}
+
+// PendingInto appends the pending pids, in pid order, to buf[:0] and returns
+// it. It allocates only if buf is too small; passing a buffer with capacity
+// >= n makes the call allocation-free.
+func (c *Controller) PendingInto(buf []int) []int {
+	buf = buf[:0]
+	for w, word := range c.pbits {
+		for word != 0 {
+			buf = append(buf, w<<6+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
-	return out
+	return buf
+}
+
+// PendingCount returns the number of processes blocked on a shared-memory
+// operation.
+func (c *Controller) PendingCount() int { return c.npending }
+
+// NextPending returns the smallest pending pid greater than after, or -1 if
+// there is none. Iterating with after = -1, then the previous return value,
+// visits the pending set in pid order without allocating.
+func (c *Controller) NextPending(after int) int {
+	i := after + 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= c.n {
+		return -1
+	}
+	w := uint(i) >> 6
+	word := c.pbits[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if word != 0 {
+			return int(w)<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= uint(len(c.pbits)) {
+			return -1
+		}
+		word = c.pbits[w]
+	}
 }
 
 // Intent returns the published next operation of a pending process.
@@ -197,16 +328,43 @@ func (c *Controller) Done(pid int) bool { return c.phase[pid] == phaseDone }
 // Crashed reports whether the process was crash-injected.
 func (c *Controller) Crashed(pid int) bool { return c.phase[pid] == phaseCrashed }
 
+// grant hands a pending process a run of k steps (crash aborts it instead)
+// and blocks until every process is again blocked or finished.
+func (c *Controller) grant(pid, k int, crash bool) {
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("sched: grant to non-pending process %d", pid))
+	}
+	c.mu.Lock()
+	c.phase[pid] = phaseRunning
+	c.pbits[uint(pid)>>6] &^= 1 << (uint(pid) & 63)
+	c.npending--
+	c.active.Add(1)
+	s := &c.seats[pid]
+	s.crash = crash
+	s.budget = k - 1 // the grant itself is the first step of the run
+	s.granted.Store(1)
+	if s.parked.Load() {
+		s.cond.Signal()
+	}
+	c.mu.Unlock()
+	c.waitQuiesce()
+}
+
 // Step grants one shared-memory operation to a pending process and returns
 // when every process is again blocked or finished.
-func (c *Controller) Step(pid int) {
-	if c.phase[pid] != phasePending {
-		panic(fmt.Sprintf("sched: Step(%d) of non-pending process", pid))
+func (c *Controller) Step(pid int) { c.grant(pid, 1, false) }
+
+// StepN grants a run of k consecutive shared-memory operations to a pending
+// process with a single wakeup, returning when every process is again
+// blocked or finished. The process consumes the remaining k-1 steps without
+// waking the scheduler; if it finishes (or needs fewer steps) the surplus is
+// discarded. StepN is the batching primitive for oblivious policies, whose
+// decisions do not depend on the intermediate intents.
+func (c *Controller) StepN(pid, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("sched: StepN(%d, %d) needs k >= 1", pid, k))
 	}
-	c.phase[pid] = phaseRunning
-	c.active++
-	c.grantChs[pid] <- grant{}
-	c.quiesce()
+	c.grant(pid, k, false)
 }
 
 // Crash terminates a pending process before its posted operation executes.
@@ -215,23 +373,18 @@ func (c *Controller) Crash(pid int) {
 	if c.phase[pid] != phasePending {
 		panic(fmt.Sprintf("sched: Crash(%d) of non-pending process", pid))
 	}
-	c.phase[pid] = phaseRunning
-	c.active++
-	c.grantChs[pid] <- grant{crash: true}
-	c.quiesce()
+	c.grant(pid, 1, true)
 }
 
 // Abort crashes every pending process, releasing all goroutines. It is the
 // cleanup path for partially driven executions.
 func (c *Controller) Abort() {
 	for {
-		pending := c.Pending()
-		if len(pending) == 0 {
+		pid := c.NextPending(-1)
+		if pid < 0 {
 			return
 		}
-		for _, pid := range pending {
-			c.Crash(pid)
-		}
+		c.Crash(pid)
 	}
 }
 
@@ -276,14 +429,23 @@ func (c *Controller) result() Result {
 }
 
 // Run drives the controller with policy (and optional crash plan) until every
-// process has finished or crashed, then returns the execution summary.
+// process has finished or crashed, then returns the execution summary. The
+// pending slice passed to the policy is reused between decisions; policies
+// must not retain it. Policies that also implement IterPolicy are driven
+// through the pending-set iterator and never receive a slice at all, making
+// each decision O(1) instead of O(pending).
 func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
-	for {
-		pending := c.Pending()
-		if len(pending) == 0 {
-			break
+	ip, iter := policy.(IterPolicy)
+	if !iter && cap(c.pendBuf) < c.n {
+		c.pendBuf = make([]int, 0, c.n)
+	}
+	for c.npending > 0 {
+		var pid int
+		if iter {
+			pid = ip.NextIter(c)
+		} else {
+			pid = policy.Next(c, c.PendingInto(c.pendBuf))
 		}
-		pid := policy.Next(c, pending)
 		if plan != nil && plan.ShouldCrash(pid, c.procs[pid].Steps(), c.intent[pid]) {
 			c.Crash(pid)
 			continue
@@ -342,9 +504,65 @@ func RunFree(n int, names []int64, body Body) Result {
 	return res
 }
 
-// Policy chooses the next process to step among the pending ones.
+// RunSpec describes one independent driven execution for ParallelRuns.
+type RunSpec struct {
+	N      int
+	Names  []int64 // nil assigns pid+1
+	Policy Policy
+	Plan   CrashPlan // nil injects no crashes
+	Body   Body
+}
+
+// ParallelRuns executes m independent driven executions across up to
+// GOMAXPROCS workers and returns their results in run order. mk is called
+// once per run index, concurrently from the workers, and must return a
+// self-contained spec: runs share nothing unless the caller's specs
+// deliberately alias state that is safe for concurrent use. It is the
+// schedule-exploration primitive: m seeded schedules (or crash plans) over
+// the same algorithm in one call.
+func ParallelRuns(m int, mk func(run int) RunSpec) []Result {
+	if m <= 0 {
+		return nil
+	}
+	results := make([]Result, m)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= m {
+					return
+				}
+				sp := mk(i)
+				results[i] = Run(sp.N, sp.Names, sp.Policy, sp.Plan, sp.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Policy chooses the next process to step among the pending ones. The
+// pending slice is sorted by pid and valid only for the duration of the
+// call.
 type Policy interface {
 	Next(c *Controller, pending []int) int
+}
+
+// IterPolicy is the allocation-free decision interface: policies that can
+// pick the next process from the controller's pending-set iterator
+// (NextPending / PendingCount) implement it in addition to Policy, and Run
+// then never materializes a pending slice. NextIter must return a pending
+// pid; Run guarantees at least one process is pending when it calls.
+type IterPolicy interface {
+	NextIter(c *Controller) int
 }
 
 // PolicyFunc adapts a function to the Policy interface.
@@ -353,22 +571,36 @@ type PolicyFunc func(c *Controller, pending []int) int
 // Next implements Policy.
 func (f PolicyFunc) Next(c *Controller, pending []int) int { return f(c, pending) }
 
-// RoundRobin cycles through the processes in pid order. The zero value is
-// ready to use.
+// RoundRobin cycles through the processes in pid order, starting from pid 0.
+// The zero value is ready to use.
 type RoundRobin struct {
-	last int
+	next int // smallest pid eligible before wrapping
 }
 
 // Next implements Policy.
 func (rr *RoundRobin) Next(c *Controller, pending []int) int {
 	for _, pid := range pending {
-		if pid > rr.last {
-			rr.last = pid
+		if pid >= rr.next {
+			rr.next = pid + 1
 			return pid
 		}
 	}
-	rr.last = pending[0]
+	rr.next = pending[0] + 1
 	return pending[0]
+}
+
+// NextIter implements IterPolicy: an O(1) amortized cyclic scan of the
+// pending bitmap.
+func (rr *RoundRobin) NextIter(c *Controller) int {
+	pid := c.NextPending(rr.next - 1)
+	if pid < 0 {
+		pid = c.NextPending(-1)
+		if pid < 0 {
+			return -1
+		}
+	}
+	rr.next = pid + 1
+	return pid
 }
 
 // Random picks uniformly among pending processes from a deterministic seed.

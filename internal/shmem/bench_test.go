@@ -1,0 +1,58 @@
+package shmem
+
+import "testing"
+
+// BenchmarkFreeRead measures the free-running register read — the RunFree
+// hot path. It must be allocation-free: the Intent fast path only
+// materializes an Intent when a scheduler gate is attached.
+func BenchmarkFreeRead(b *testing.B) {
+	p := NewProc(0, 1, nil)
+	var r Reg
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += p.Read(&r)
+	}
+	_ = sink
+}
+
+// BenchmarkFreeWrite measures the free-running register write.
+func BenchmarkFreeWrite(b *testing.B) {
+	p := NewProc(0, 1, nil)
+	var r Reg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Write(&r, int64(i))
+	}
+}
+
+// BenchmarkFreeRefReadWrite measures the pointer-register pair on the
+// free-running path.
+func BenchmarkFreeRefReadWrite(b *testing.B) {
+	p := NewProc(0, 1, nil)
+	var r Ref[int64]
+	v := int64(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WriteRef(p, &r, &v)
+		ReadRef(p, &r)
+	}
+}
+
+// TestFreeRunningAccessZeroAlloc pins the Intent fast path: with no gate
+// attached, counted register accesses perform zero heap allocations.
+func TestFreeRunningAccessZeroAlloc(t *testing.T) {
+	p := NewProc(0, 1, nil)
+	var r Reg
+	var ref Ref[int64]
+	v := int64(9)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Read(&r)
+		p.Write(&r, 3)
+		WriteRef(p, &ref, &v)
+		ReadRef(p, &ref)
+	})
+	if allocs != 0 {
+		t.Fatalf("free-running access allocates %.1f/op, want 0", allocs)
+	}
+}

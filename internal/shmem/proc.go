@@ -79,21 +79,26 @@ func (p *Proc) Steps() int64 { return p.steps }
 // components that model a register access performed on the process's behalf.
 func (p *Proc) AddSteps(n int64) { p.steps += n }
 
-func (p *Proc) step(intent Intent) {
-	if p.gate != nil {
-		p.gate.Step(p.id, intent)
+// step charges one local step for an access to reg, routing through the
+// scheduler gate when one is attached. The nil check lives here, before the
+// Intent exists, so the free-running path never materializes an Intent: the
+// hot loop of RunFree is a step-counter increment plus the atomic register
+// access, with nothing escaping to the heap.
+func (p *Proc) step(kind OpKind, reg any) {
+	if g := p.gate; g != nil {
+		g.Step(p.id, Intent{Kind: kind, Reg: reg})
 	}
 	p.steps++
 }
 
 // Read performs a counted atomic read of a scalar register.
 func (p *Proc) Read(r *Reg) int64 {
-	p.step(Intent{Kind: OpRead, Reg: r})
+	p.step(OpRead, r)
 	return r.v.Load()
 }
 
 // Write performs a counted atomic write of a scalar register.
 func (p *Proc) Write(r *Reg, v int64) {
-	p.step(Intent{Kind: OpWrite, Reg: r})
+	p.step(OpWrite, r)
 	r.v.Store(v)
 }

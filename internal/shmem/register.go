@@ -53,13 +53,13 @@ func (r *Ref[T]) PokeRef(p *T) { r.v.Store(p) }
 // process p. It is a package function rather than a method because Go does
 // not permit type parameters on methods.
 func ReadRef[T any](p *Proc, r *Ref[T]) *T {
-	p.step(Intent{Kind: OpRead, Reg: r})
+	p.step(OpRead, r)
 	return r.v.Load()
 }
 
 // WriteRef performs a counted atomic write of a pointer register on behalf of
 // process p. The caller must not mutate *x afterwards.
 func WriteRef[T any](p *Proc, r *Ref[T], x *T) {
-	p.step(Intent{Kind: OpWrite, Reg: r})
+	p.step(OpWrite, r)
 	r.v.Store(x)
 }

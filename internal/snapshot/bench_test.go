@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// BenchmarkUpdateScanSolo measures one Update followed by one Scan by a
+// single free-running process over 8 segments — the snapshot fast path with
+// no interference.
+func BenchmarkUpdateScanSolo(b *testing.B) {
+	o := New[int64](8)
+	p := shmem.NewProc(0, 1, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Update(p, 0, int64(i))
+		o.Scan(p)
+	}
+}
+
+// BenchmarkUpdateScanDriven measures 4 processes doing update+scan rounds
+// under the controller with a seeded random schedule.
+func BenchmarkUpdateScanDriven(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := New[int64](4)
+		b.StartTimer()
+		res := sched.Run(4, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+			for round := 0; round < 4; round++ {
+				o.Update(p, p.ID(), int64(round))
+				o.Scan(p)
+			}
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkScanFree measures concurrent free-running scans against one
+// updater, the contended double-collect path.
+func BenchmarkScanFree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := New[int64](4)
+		res := sched.RunFree(4, nil, func(p *shmem.Proc) {
+			for round := 0; round < 8; round++ {
+				if p.ID() == 0 {
+					o.Update(p, 0, int64(round))
+				} else {
+					o.Scan(p)
+				}
+			}
+		})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
