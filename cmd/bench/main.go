@@ -6,10 +6,17 @@
 // where one is stated, so future performance PRs are judged against a
 // committed baseline.
 //
+// With -adversary it additionally sweeps every shipped adversary family
+// (package adversary) over each core algorithm, recording the worst-case
+// observed per-process steps next to the paper's bound and the number of
+// distinct schedules covered; any invariant violation aborts the run with a
+// shrunk one-line reproducer.
+//
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_PR1.json        # full grid
 //	go run ./cmd/bench -quick                     # CI smoke run
+//	go run ./cmd/bench -quick -adversary          # + adversary sweep
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/afrename"
 	"repro/internal/compete"
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/marename"
 	"repro/internal/sched"
@@ -65,16 +74,32 @@ type GridEntry struct {
 	Crashes     int     `json:"crashes"`
 }
 
+// AdversaryEntry records one (algorithm, n) exploration campaign of the
+// -adversary mode: worst-case observed per-process steps across every
+// shipped adversary family next to the paper's bound, plus coverage.
+type AdversaryEntry struct {
+	Algorithm   string `json:"algorithm"`
+	N           int    `json:"n"`
+	Runs        int    `json:"runs"`
+	Families    int    `json:"families"`
+	Distinct    int    `json:"distinct_schedules"`
+	WorstSteps  int64  `json:"worst_steps"`
+	PaperBound  int64  `json:"paper_bound,omitempty"` // 0 when no closed-form bound is stated
+	WorstFamily string `json:"worst_family"`
+	Violations  int    `json:"violations"`
+}
+
 // Report is the whole trajectory file.
 type Report struct {
-	PR         int         `json:"pr"`
-	Suite      string      `json:"suite"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Quick      bool        `json:"quick"`
-	StepN      []Micro     `json:"stepn_batched"`
-	Micro      []MicroPair `json:"controller_step"`
-	Grid       []GridEntry `json:"grid"`
+	PR         int              `json:"pr"`
+	Suite      string           `json:"suite"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	StepN      []Micro          `json:"stepn_batched"`
+	Micro      []MicroPair      `json:"controller_step"`
+	Grid       []GridEntry      `json:"grid"`
+	Adversary  []AdversaryEntry `json:"adversary,omitempty"`
 }
 
 func mallocs() uint64 {
@@ -244,6 +269,54 @@ var plans = []planSpec{
 	{"random10", func(n int, seed uint64) sched.CrashPlan { return sched.RandomCrashes(seed, 0.1, n/2) }},
 }
 
+// runAdversary sweeps every shipped adversary family over each (algorithm,
+// n) of the shared conformance table, recording the worst-case observed
+// per-process steps next to the paper's bound. Each run is checked against
+// the algorithm's full invariant suite; a violation (printed with its
+// shrunk one-line reproducer) fails the whole suite.
+func runAdversary(sizes []int, runs int) []AdversaryEntry {
+	var out []AdversaryEntry
+	families := adversary.All()
+	for _, a := range conformance.Cases() {
+		for _, n := range sizes {
+			o := adversary.Explore(adversary.Spec{
+				Label:    a.Name,
+				New:      a.New,
+				Origs:    a.Origs,
+				Suite:    a.Suite,
+				Ns:       []int{n},
+				Families: families,
+				Runs:     runs,
+				Seed:     0xad5e ^ uint64(n),
+			})
+			e := AdversaryEntry{
+				Algorithm:  a.Name,
+				N:          n,
+				Runs:       o.Runs,
+				Families:   len(families),
+				Distinct:   o.Distinct,
+				WorstSteps: o.MaxSteps,
+				PaperBound: a.StepBound(n),
+				Violations: len(o.Violations),
+			}
+			e.WorstFamily = o.WorstCell().Family
+			out = append(out, e)
+			fmt.Fprintf(os.Stderr, "adversary %-14s n=%-3d %4d runs %4d schedules  worst steps %6d (bound %d, %s)\n",
+				a.Name, n, e.Runs, e.Distinct, e.WorstSteps, e.PaperBound, e.WorstFamily)
+			for _, v := range o.Violations {
+				fmt.Fprintf(os.Stderr, "adversary VIOLATION: %v\n", v)
+				if v.Shrunk != nil {
+					fmt.Fprintf(os.Stderr, "  reproducer: %s\n", *v.Shrunk)
+				}
+			}
+			if len(o.Violations) > 0 {
+				os.Exit(1)
+			}
+		}
+	}
+	return out
+}
+
 func runGrid(sizes []int, runs int) []GridEntry {
 	var out []GridEntry
 	for _, a := range algos {
@@ -295,6 +368,7 @@ func main() {
 	out := flag.String("out", "BENCH_PR1.json", "output JSON path ('-' for stdout)")
 	quick := flag.Bool("quick", false, "small grid for CI smoke runs")
 	runs := flag.Int("runs", 3, "driven executions per grid configuration")
+	adversarial := flag.Bool("adversary", false, "sweep every adversary family per algorithm, recording worst-case observed steps vs the paper bound")
 	flag.Parse()
 
 	microSteps := int64(200000)
@@ -335,6 +409,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stepn k=%-4d %8.2f ns/step (%.2f allocs)\n", k, m.NsPerStep, m.AllocsStep)
 	}
 	rep.Grid = runGrid(sizes, *runs)
+	if *adversarial {
+		advRuns := 32
+		if *quick {
+			advRuns = 6
+		}
+		rep.Adversary = runAdversary(sizes, advRuns)
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,52 @@
+package adversary
+
+import (
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// CrashOnWrite crashes processes at the most damaging instant the model
+// allows: just before a posted write executes. A process that announced a
+// claim (the write intent is visible to the adversary) dies with the claim
+// never landing — the exact scenario in which sloppy competition protocols
+// leak a name to two winners or strand a reservation. Each posted write is
+// crashed with probability prob, up to maxCrashes in total, deterministically
+// from seed.
+func CrashOnWrite(seed uint64, prob float64, maxCrashes int) sched.CrashPlan {
+	rng := xrand.New(seed)
+	crashed := 0
+	return sched.CrashPlanFunc(func(pid int, steps int64, intent shmem.Intent) bool {
+		if crashed >= maxCrashes || intent.Kind != shmem.OpWrite {
+			return false
+		}
+		if rng.Float64() < prob {
+			crashed++
+			return true
+		}
+		return false
+	})
+}
+
+// CrashLateWriters crashes every process except the survivors on its w-th
+// posted write (counting posted, not executed, writes). It models an
+// adversary that lets processes invest work — reads, early claims — and
+// kills them mid-protocol, maximizing the spoiled state survivors must
+// tolerate.
+func CrashLateWriters(w int, survivors ...int) sched.CrashPlan {
+	if w < 1 {
+		w = 1
+	}
+	surv := make(map[int]bool, len(survivors))
+	for _, s := range survivors {
+		surv[s] = true
+	}
+	writes := make(map[int]int)
+	return sched.CrashPlanFunc(func(pid int, steps int64, intent shmem.Intent) bool {
+		if surv[pid] || intent.Kind != shmem.OpWrite {
+			return false
+		}
+		writes[pid]++
+		return writes[pid] >= w
+	})
+}

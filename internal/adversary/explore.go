@@ -1,0 +1,254 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// Spec describes a schedule-exploration campaign over one renaming
+// algorithm: which instances to build, which invariants they must satisfy,
+// and how much of the adversary's space to sweep.
+type Spec struct {
+	// Label names the algorithm in reports and reproducers.
+	Label string
+	// New builds a fresh instance for a run of n contenders. It must be safe
+	// to call concurrently and every call must return an independent
+	// instance (runs share nothing). The instance seed is derived from the
+	// run seed, so a reproducer pins the graph as well as the schedule.
+	New func(n int, seed uint64) check.Renamer
+	// Origs supplies the original names for a run (nil: pids 1..n).
+	Origs func(n int, seed uint64) []int64
+	// Suite returns the invariants a run at population n must satisfy. The
+	// family name is supplied so crash-sensitive liveness checkers can be
+	// omitted under crash-injecting adversaries. nil defaults to
+	// check.Basic() for every family.
+	Suite func(n int, family string) check.Suite
+	// Ns are the population sizes to explore (default {2, 3, 5, 8}).
+	Ns []int
+	// Families are the adversaries to run (default All()).
+	Families []Family
+	// Runs is the number of seeded runs per (family, n) cell (default 16).
+	Runs int
+	// Budget caps the total number of runs across all cells; 0 means no
+	// cap. When the grid exceeds the budget, per-cell runs are scaled down
+	// (never below one run per cell).
+	Budget int
+	// Seed derives every run seed; two campaigns with equal specs explore
+	// identical schedules.
+	Seed uint64
+}
+
+func (s *Spec) normalize() {
+	if len(s.Ns) == 0 {
+		s.Ns = []int{2, 3, 5, 8}
+	}
+	if len(s.Families) == 0 {
+		s.Families = All()
+	}
+	if s.Runs <= 0 {
+		s.Runs = 16
+	}
+	if cells := len(s.Ns) * len(s.Families); s.Budget > 0 && s.Runs*cells > s.Budget {
+		s.Runs = s.Budget / cells
+		if s.Runs < 1 {
+			s.Runs = 1
+		}
+	}
+}
+
+func (s *Spec) suiteFor(n int, family string) check.Suite {
+	if s.Suite == nil {
+		return check.Basic()
+	}
+	return s.Suite(n, family)
+}
+
+// runSeed derives the seed of one run from the campaign seed and the cell
+// coordinates, so every run is independently replayable.
+func (s *Spec) runSeed(family string, n, run int) uint64 {
+	h := xrand.Mix(s.Seed, uint64(n)<<32|uint64(run))
+	for _, b := range []byte(family) {
+		h = xrand.Mix(h, uint64(b))
+	}
+	return h
+}
+
+// origsFor supplies one run's original names: the spec's sampler verbatim
+// (the explore and replay paths must agree, down to panicking identically on
+// a malformed length), or pids 1..n.
+func (s *Spec) origsFor(n int, seed uint64) []int64 {
+	if s.Origs != nil {
+		return s.Origs(n, seed)
+	}
+	names := make([]int64, n)
+	for i := range names {
+		names[i] = int64(i + 1)
+	}
+	return names
+}
+
+// Violation is one invariant failure found during exploration.
+type Violation struct {
+	Label  string
+	Family string
+	N      int
+	Seed   uint64
+	Err    error
+	// Shrunk is the minimized reproducer (set by Explore; Shrink fills it).
+	Shrunk *Reproducer
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s under %s n=%d seed=%#x: %v", v.Label, v.Family, v.N, v.Seed, v.Err)
+}
+
+// CellStats summarizes one (family, n) cell of the exploration grid.
+type CellStats struct {
+	Family    string
+	N         int
+	Runs      int
+	Distinct  int   // distinct schedule fingerprints observed
+	MaxSteps  int64 // worst per-process local-step count observed
+	Crashes   int   // total crash injections across runs
+	Violating int   // runs that violated the suite
+}
+
+// Outcome is the result of one Explore campaign.
+type Outcome struct {
+	Label      string
+	Runs       int   // total runs executed
+	Distinct   int   // distinct schedule fingerprints across the campaign
+	MaxSteps   int64 // worst per-process step count across the campaign
+	Cells      []CellStats
+	Violations []Violation
+}
+
+// WorstCell returns the cell with the highest observed MaxSteps, the
+// adversary family that extracted the most work per process.
+func (o *Outcome) WorstCell() CellStats {
+	var worst CellStats
+	for _, c := range o.Cells {
+		if c.MaxSteps >= worst.MaxSteps {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// runOnce executes a single (family, n, seed) run and checks it against the
+// spec's suite. It returns the run record and the first violation (nil if
+// the run is clean).
+func runOnce(spec *Spec, fam Family, n int, seed uint64) (*check.Run, error) {
+	r := spec.New(n, seed)
+	run := check.Drive(r, n, spec.origsFor(n, seed), fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
+	if run.Res.Err != nil {
+		return run, fmt.Errorf("process panic: %w", run.Res.Err)
+	}
+	return run, spec.suiteFor(n, fam.Name).Check(run)
+}
+
+// Explore sweeps the campaign grid, fanning each cell's seeded runs across
+// workers via sched.ParallelRuns, and reports coverage (distinct schedule
+// fingerprints), worst-case observed steps, and every invariant violation —
+// the first of which is shrunk to a minimal reproducer.
+func Explore(spec Spec) Outcome {
+	spec.normalize()
+	out := Outcome{Label: spec.Label}
+	seen := make(map[uint64]struct{})
+	for _, fam := range spec.Families {
+		for _, n := range spec.Ns {
+			cell := exploreCell(&spec, fam, n, seen)
+			out.Cells = append(out.Cells, cell.stats)
+			out.Runs += cell.stats.Runs
+			if cell.stats.MaxSteps > out.MaxSteps {
+				out.MaxSteps = cell.stats.MaxSteps
+			}
+			out.Violations = append(out.Violations, cell.violations...)
+		}
+	}
+	out.Distinct = len(seen)
+	if len(out.Violations) > 0 {
+		rep := Shrink(&spec, out.Violations[0])
+		out.Violations[0].Shrunk = &rep
+	}
+	return out
+}
+
+type cellResult struct {
+	stats      CellStats
+	violations []Violation
+}
+
+// exploreCell runs one (family, n) cell. The per-run records are collected
+// concurrently and checked serially (checkers are cheap; runs are not).
+func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellResult {
+	renamers := make([]check.Renamer, spec.Runs)
+	got := make([][]int64, spec.Runs)
+	oks := make([][]bool, spec.Runs)
+	origs := make([][]int64, spec.Runs)
+	results := sched.ParallelRuns(spec.Runs, func(run int) sched.RunSpec {
+		seed := spec.runSeed(fam.Name, n, run)
+		r := spec.New(n, seed)
+		renamers[run] = r
+		names := spec.origsFor(n, seed)
+		origs[run] = names
+		g := make([]int64, n)
+		o := make([]bool, n)
+		got[run], oks[run] = g, o
+		return sched.RunSpec{
+			N:      n,
+			Names:  names,
+			Policy: fam.NewPolicy(seed, n),
+			Plan:   fam.NewPlan(seed, n),
+			Body: func(p *shmem.Proc) {
+				g[p.ID()], o[p.ID()] = r.Rename(p, p.Name())
+			},
+		}
+	})
+	cell := cellResult{stats: CellStats{Family: fam.Name, N: n, Runs: spec.Runs}}
+	suite := spec.suiteFor(n, fam.Name)
+	cellSeen := make(map[uint64]struct{}, spec.Runs)
+	for i, res := range results {
+		seen[res.Fingerprint] = struct{}{}
+		cellSeen[res.Fingerprint] = struct{}{}
+		if ms := res.MaxSteps(); ms > cell.stats.MaxSteps {
+			cell.stats.MaxSteps = ms
+		}
+		run := check.NewRun(origs[i], got[i], oks[i], res, renamers[i].MaxName())
+		cell.stats.Crashes += run.Crashes()
+		// A process panic preempts the suite verdict, mirroring runOnce: the
+		// report and the shrunk reproducer must agree on the failure class.
+		var err error
+		if res.Err != nil {
+			err = fmt.Errorf("process panic: %w", res.Err)
+		} else {
+			err = suite.Check(run)
+		}
+		if err != nil {
+			cell.stats.Violating++
+			cell.violations = append(cell.violations, Violation{
+				Label:  spec.Label,
+				Family: fam.Name,
+				N:      n,
+				Seed:   spec.runSeed(fam.Name, n, i),
+				Err:    err,
+			})
+		}
+	}
+	cell.stats.Distinct = len(cellSeen)
+	return cell
+}
+
+// Summary renders a short human-readable campaign report.
+func (o *Outcome) Summary() string {
+	s := fmt.Sprintf("%s: %d runs, %d distinct schedules, worst steps %d, %d violations",
+		o.Label, o.Runs, o.Distinct, o.MaxSteps, len(o.Violations))
+	if w := o.WorstCell(); w.Runs > 0 {
+		s += fmt.Sprintf(" (worst cell: %s n=%d)", w.Family, w.N)
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Family is one named adversary: a generator of (policy, crash plan) pairs
+// parameterized by a seed and the population size. Families are pure
+// functions of their inputs, so a (family, n, seed) triple fully identifies
+// a schedule for a fixed algorithm — the property the shrinker and the
+// one-line reproducers rely on.
+type Family struct {
+	Name string
+	// Policy builds the scheduling policy for one run. Must not be nil.
+	Policy func(seed uint64, n int) sched.Policy
+	// Plan builds the crash plan for one run; nil (or a func returning nil)
+	// injects no crashes.
+	Plan func(seed uint64, n int) sched.CrashPlan
+}
+
+// NewPolicy instantiates the family's policy for one run.
+func (f Family) NewPolicy(seed uint64, n int) sched.Policy {
+	return f.Policy(seed, n)
+}
+
+// NewPlan instantiates the family's crash plan for one run (possibly nil).
+func (f Family) NewPlan(seed uint64, n int) sched.CrashPlan {
+	if f.Plan == nil {
+		return nil
+	}
+	return f.Plan(seed, n)
+}
+
+// All returns the shipped adversary families. Order is stable (it is part of
+// the reproducer format) and roughly sorted from blunt to surgical:
+//
+//	random      uniform random scheduling, no crashes (the PR-1 status quo)
+//	roundrobin  strict cyclic scheduling, no crashes
+//	starve      one seeded victim starved until it runs alone
+//	writeblock  intent-aware: writers suppressed while any reader is pending
+//	collapse    contention collapsed to a window of ~n/2 (at least 2)
+//	lockstep    seeded cohorts of ~half the population advancing in rounds
+//	crashwrite  random scheduling + crash-just-before-posted-write, f < n
+//	crashhalf   random scheduling + random crashes of up to half
+func All() []Family {
+	return []Family{
+		{
+			Name:   "random",
+			Policy: func(seed uint64, n int) sched.Policy { return sched.NewRandom(seed) },
+		},
+		{
+			Name:   "roundrobin",
+			Policy: func(seed uint64, n int) sched.Policy { return &sched.RoundRobin{} },
+		},
+		{
+			Name: "starve",
+			Policy: func(seed uint64, n int) sched.Policy {
+				victim := int(xrand.Mix(seed, 0x71c71) % uint64(n))
+				return NewStarver(seed, n, victim)
+			},
+		},
+		{
+			Name:   "writeblock",
+			Policy: func(seed uint64, n int) sched.Policy { return NewWriteBlocker(seed) },
+		},
+		{
+			Name: "collapse",
+			Policy: func(seed uint64, n int) sched.Policy {
+				k := n / 2
+				if k < 2 {
+					k = 2
+				}
+				return NewCollapse(seed, n, k)
+			},
+		},
+		{
+			Name: "lockstep",
+			Policy: func(seed uint64, n int) sched.Policy {
+				g := (n + 1) / 2
+				return NewLockstep(seed, n, g)
+			},
+		},
+		{
+			Name:   "crashwrite",
+			Policy: func(seed uint64, n int) sched.Policy { return sched.NewRandom(seed) },
+			Plan: func(seed uint64, n int) sched.CrashPlan {
+				return CrashOnWrite(xrand.Mix(seed, 0xc4a54), 0.25, n-1)
+			},
+		},
+		{
+			Name:   "crashhalf",
+			Policy: func(seed uint64, n int) sched.Policy { return sched.NewRandom(seed) },
+			Plan: func(seed uint64, n int) sched.CrashPlan {
+				return sched.RandomCrashes(xrand.Mix(seed, 0xc4a55), 0.05, n/2)
+			},
+		},
+	}
+}
+
+// ByName returns the shipped family with the given name.
+func ByName(name string) (Family, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("adversary: unknown family %q", name)
+}
+
+// CrashFree reports whether the named shipped family never injects crashes
+// (harnesses use it to decide whether crash-sensitive liveness checkers
+// apply).
+func CrashFree(name string) bool {
+	f, err := ByName(name)
+	return err == nil && f.Plan == nil
+}

@@ -1,0 +1,48 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+// FuzzRenameSchedule fuzzes the (algorithm, family, population, seed) space:
+// the seed determinizes the sampled expander graphs, the schedule and the
+// crash pattern at once, so every crashing input is a complete reproducer.
+// The invariants asserted are the unconditional ones — exclusiveness and
+// full accounting — which no schedule or crash pattern may violate.
+func FuzzRenameSchedule(f *testing.F) {
+	f.Add(uint64(1), 0, 0, 2)
+	f.Add(uint64(42), 1, 3, 5)
+	f.Add(uint64(0x9e3779b9), 2, 6, 8)
+	f.Add(uint64(7), 0, 7, 3)
+	f.Add(uint64(0xdead), 1, 4, 6)
+	f.Fuzz(func(t *testing.T, seed uint64, algoIdx, famIdx, n int) {
+		// Clamp through unsigned arithmetic: negating math.MinInt overflows
+		// back to itself, so a signed abs-then-mod can stay negative.
+		n = 1 + int(uint(n)%8)
+		fams := All()
+		fam := fams[uint(famIdx)%uint(len(fams))]
+		cfg := core.Config{Seed: seed | 1} // 0 would silently fall back to the default seed
+		var r check.Renamer
+		switch uint(algoIdx) % 3 {
+		case 0:
+			r = core.NewBasic(n, 512, cfg)
+		case 1:
+			// Fallback lane enabled: names may exceed MaxName by design, but
+			// exclusiveness must survive the extra lane too.
+			r = core.NewEfficient(n, n, cfg)
+		case 2:
+			r = core.NewAdaptive(n, cfg)
+		}
+		run := check.Drive(r, n, nil, fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
+		if run.Res.Err != nil {
+			t.Fatalf("process panic under %s n=%d seed=%#x: %v", fam.Name, n, seed, run.Res.Err)
+		}
+		suite := check.Suite{check.Exclusive(), check.Returned()}
+		if err := suite.Check(run); err != nil {
+			t.Fatalf("invariant violated under %s n=%d seed=%#x: %v", fam.Name, n, seed, err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package adversary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reproducer is a minimal, fully deterministic recipe for re-triggering a
+// violation: the algorithm label, adversary family, population size and run
+// seed. Its String form is a one-line spec that Parse round-trips, so a
+// failing exploration can be pasted straight into a regression test or
+// replayed from a shell log.
+type Reproducer struct {
+	Label  string
+	Family string
+	N      int
+	Seed   uint64
+	// Err is the violation the reproducer triggers (informational; not part
+	// of the parsed form).
+	Err error `json:"-"`
+}
+
+// String renders the one-line replayable spec, e.g.
+//
+//	adversary:algo=broken family=random n=2 seed=0x9e3779b97f4a7c15
+func (r Reproducer) String() string {
+	return fmt.Sprintf("adversary:algo=%s family=%s n=%d seed=%#x", r.Label, r.Family, r.N, r.Seed)
+}
+
+// Parse reads a one-line spec produced by String.
+func Parse(line string) (Reproducer, error) {
+	var rep Reproducer
+	line = strings.TrimSpace(line)
+	const prefix = "adversary:"
+	if !strings.HasPrefix(line, prefix) {
+		return rep, fmt.Errorf("adversary: spec line must start with %q: %q", prefix, line)
+	}
+	for _, field := range strings.Fields(line[len(prefix):]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return rep, fmt.Errorf("adversary: malformed field %q in spec %q", field, line)
+		}
+		switch key {
+		case "algo":
+			rep.Label = val
+		case "family":
+			rep.Family = val
+		case "n":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return rep, fmt.Errorf("adversary: bad n in spec %q", line)
+			}
+			rep.N = n
+		case "seed":
+			seed, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 64)
+			if err != nil {
+				return rep, fmt.Errorf("adversary: bad seed in spec %q", line)
+			}
+			rep.Seed = seed
+		default:
+			return rep, fmt.Errorf("adversary: unknown field %q in spec %q", key, line)
+		}
+	}
+	if rep.Label == "" || rep.Family == "" || rep.N == 0 {
+		return rep, fmt.Errorf("adversary: incomplete spec %q", line)
+	}
+	return rep, nil
+}
+
+// Replay re-executes a reproducer against the spec's algorithm and returns
+// the violation it triggers, or nil if the run is clean (the bug no longer
+// reproduces). The spec must build the algorithm the reproducer names — a
+// label mismatch is an error, not a silent "does not reproduce" — and the
+// family is resolved from the shipped library.
+func Replay(spec *Spec, rep Reproducer) error {
+	if rep.Label != spec.Label {
+		return fmt.Errorf("adversary: reproducer is for algo %q but the spec builds %q", rep.Label, spec.Label)
+	}
+	sp := *spec // normalize a copy; the caller's spec stays untouched
+	sp.normalize()
+	fam, err := ByName(rep.Family)
+	if err != nil {
+		return err
+	}
+	_, verr := runOnce(&sp, fam, rep.N, rep.Seed)
+	return verr
+}
+
+// shrinkSeedTries is how many derived seeds the shrinker probes per
+// candidate configuration before concluding the violation does not
+// reproduce there.
+const shrinkSeedTries = 48
+
+// Shrink minimizes a violation to the smallest reproducer it can find:
+// first the simplest family (in All() order) that still triggers a
+// violation at the original population, then the smallest population, then
+// the first reproducing seed in a deterministic probe sequence. The result
+// always reproduces (Replay returns non-nil); at worst it equals the
+// original violation.
+func Shrink(spec *Spec, v Violation) Reproducer {
+	sp := *spec
+	sp.normalize()
+	best := Reproducer{Label: v.Label, Family: v.Family, N: v.N, Seed: v.Seed, Err: v.Err}
+
+	// Prefer the bluntest family that still fails: a bug reproducible under
+	// plain random scheduling is a stronger, more portable report than one
+	// needing a surgical adversary.
+	for _, fam := range sp.Families {
+		if fam.Name == best.Family {
+			break // everything before the original family failed to reproduce
+		}
+		if seed, err, ok := probeSeeds(&sp, fam, best.N, v.Seed); ok {
+			best.Family, best.Seed, best.Err = fam.Name, seed, err
+			break
+		}
+	}
+	fam, ferr := ByName(best.Family)
+	if ferr != nil {
+		// A campaign-local family outside the shipped library: keep it.
+		for _, f := range sp.Families {
+			if f.Name == best.Family {
+				fam = f
+			}
+		}
+	}
+
+	// Walk the population down greedily: repeatedly try every smaller n from
+	// 1 upward and jump to the smallest that still reproduces.
+	for n := 1; n < best.N; n++ {
+		if seed, err, ok := probeSeeds(&sp, fam, n, best.Seed); ok {
+			best.N, best.Seed, best.Err = n, seed, err
+			break
+		}
+	}
+	return best
+}
+
+// probeSeeds re-runs a (family, n) configuration over a deterministic probe
+// sequence derived from base (base itself first) and reports the first
+// failing seed.
+func probeSeeds(sp *Spec, fam Family, n int, base uint64) (uint64, error, bool) {
+	seed := base
+	for t := 0; t < shrinkSeedTries; t++ {
+		if _, err := runOnce(sp, fam, n, seed); err != nil {
+			return seed, err, true
+		}
+		seed = sp.runSeed(fam.Name, n, t)
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,280 @@
+// Package check turns the paper's correctness claims into first-class
+// invariant checkers that any renaming execution can be validated against.
+// The theorems of the paper (Thms 1-4, Lemmas 4-5) are quantified over every
+// asynchronous schedule and crash pattern; the checkers in this package are
+// the machine-readable form of those obligations:
+//
+//   - Exclusive: no two processes ever hold the same new name (the safety
+//     property every algorithm must satisfy unconditionally);
+//   - NameRange: acquired names stay within the claimed bound M;
+//   - StepBound: no process exceeds the claimed wait-free local-step bound;
+//   - AllRenamed / HalfRenamed: the liveness guarantee appropriate to the
+//     algorithm (everyone renamed, or the Lemma 4 majority);
+//   - Returned: wait-freedom's observable core — every non-crashed process
+//     comes back with a decision.
+//
+// Drive executes k contenders through a Renamer under an arbitrary policy
+// and crash plan and produces the Run record the checkers consume. The
+// package deliberately depends only on shmem and sched — the Renamer
+// interface is structural, identical to core.Renamer — so the core package's
+// own tests (and the adversary explorer) can use it without import cycles.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// Renamer is the structural mirror of core.Renamer: a one-shot renaming
+// object. Every core algorithm satisfies it; so does any test fixture.
+type Renamer interface {
+	Rename(p *shmem.Proc, orig int64) (int64, bool)
+	MaxName() int64
+	Registers() int
+}
+
+// Run records one complete driven execution of a Renamer, in the form the
+// invariant checkers consume.
+type Run struct {
+	K       int           // contenders started
+	Origs   []int64       // original names, by pid
+	Names   map[int]int64 // pid -> acquired name, for non-crashed ok processes
+	Failed  []int         // non-crashed pids that returned ok=false, ascending
+	Res     sched.Result  // scheduler summary (steps, crashes, fingerprint)
+	MaxName int64         // the instance's claimed name bound (Renamer.MaxName)
+}
+
+// Crashes returns how many processes were crash-injected.
+func (r *Run) Crashes() int {
+	n := 0
+	for _, c := range r.Res.Crashed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Survivors returns how many processes were not crash-injected.
+func (r *Run) Survivors() int { return r.K - r.Crashes() }
+
+// Checker is one invariant applied to a completed run. Check returns nil
+// when the run satisfies the invariant and a descriptive error otherwise.
+type Checker interface {
+	Name() string
+	Check(r *Run) error
+}
+
+// checker adapts a (name, func) pair to Checker.
+type checker struct {
+	name string
+	fn   func(r *Run) error
+}
+
+func (c checker) Name() string       { return c.name }
+func (c checker) Check(r *Run) error { return c.fn(r) }
+
+// New builds an ad-hoc checker from a name and a function; harnesses use it
+// for algorithm-specific invariants (adaptive name bounds, fallback counts).
+func New(name string, fn func(r *Run) error) Checker {
+	return checker{name: name, fn: fn}
+}
+
+// Exclusive is the paper's safety property: all acquired names are distinct
+// and >= 1. It must hold for every algorithm under every schedule and crash
+// pattern; a violation is always a bug.
+func Exclusive() Checker {
+	return New("exclusive", func(r *Run) error {
+		holder := make(map[int64]int, len(r.Names))
+		pids := make([]int, 0, len(r.Names))
+		for pid := range r.Names {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids) // deterministic error messages
+		for _, pid := range pids {
+			n := r.Names[pid]
+			if n < 1 {
+				return fmt.Errorf("process %d acquired invalid name %d", pid, n)
+			}
+			if other, dup := holder[n]; dup {
+				return fmt.Errorf("name %d held by both process %d and process %d", n, other, pid)
+			}
+			holder[n] = pid
+		}
+		return nil
+	})
+}
+
+// NameRange checks every acquired name is <= bound; bound 0 means use the
+// instance's own claimed MaxName. Algorithms with an enabled fallback lane
+// assign names beyond MaxName by design — their harnesses pass the lane's
+// upper limit explicitly or skip this checker.
+func NameRange(bound int64) Checker {
+	return New("name-range", func(r *Run) error {
+		b := bound
+		if b == 0 {
+			b = r.MaxName
+		}
+		for pid, n := range r.Names {
+			if n > b {
+				return fmt.Errorf("process %d name %d exceeds bound %d", pid, n, b)
+			}
+		}
+		return nil
+	})
+}
+
+// StepBound checks no process took more than bound local steps — the
+// paper's wait-free time bounds. bound <= 0 disables the check (for stages
+// with no closed-form bound).
+func StepBound(bound int64) Checker {
+	return New("step-bound", func(r *Run) error {
+		if bound <= 0 {
+			return nil
+		}
+		for pid, s := range r.Res.Steps {
+			if s > bound {
+				return fmt.Errorf("process %d took %d steps, exceeding the wait-free bound %d", pid, s, bound)
+			}
+		}
+		return nil
+	})
+}
+
+// Returned checks the observable core of wait-freedom: every process either
+// crashed, acquired a name, or explicitly failed — nobody is unaccounted
+// for. Drive can only produce accounted-for runs, so this checker guards the
+// record itself (and any future harness) rather than the algorithm.
+func Returned() Checker {
+	return New("returned", func(r *Run) error {
+		for pid := 0; pid < r.K; pid++ {
+			if r.Res.Crashed[pid] {
+				continue
+			}
+			if _, ok := r.Names[pid]; ok {
+				continue
+			}
+			failed := false
+			for _, f := range r.Failed {
+				if f == pid {
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				return fmt.Errorf("process %d neither crashed, renamed, nor failed", pid)
+			}
+		}
+		return nil
+	})
+}
+
+// AllRenamed checks every non-crashed process acquired a name — the
+// guarantee of Basic, PolyLog, Efficient and the adaptive constructions
+// within their contention bounds (the stage-cascade argument survives
+// crashes: losers of a stage are always fewer than the next stage's bound).
+func AllRenamed() Checker {
+	return New("all-renamed", func(r *Run) error {
+		if len(r.Failed) > 0 {
+			return fmt.Errorf("%d of %d surviving processes failed to rename (first: process %d)",
+				len(r.Failed), r.Survivors(), r.Failed[0])
+		}
+		return nil
+	})
+}
+
+// HalfRenamed checks more than half of the contenders acquired names — the
+// Lemma 4 majority guarantee. It applies only to crash-free runs: a crashed
+// majority can take its matched unique neighbors to the grave, leaving the
+// survivors unmatched.
+func HalfRenamed() Checker {
+	return New("half-renamed", func(r *Run) error {
+		if r.Crashes() > 0 {
+			return nil
+		}
+		if 2*len(r.Names) < r.K {
+			return fmt.Errorf("only %d of %d contenders renamed (majority requires more than half)", len(r.Names), r.K)
+		}
+		return nil
+	})
+}
+
+// Suite is an ordered list of checkers applied together.
+type Suite []Checker
+
+// Check runs every checker against the run and returns the first violation,
+// wrapped with the checker's name, or nil.
+func (s Suite) Check(r *Run) error {
+	for _, c := range s {
+		if err := c.Check(r); err != nil {
+			return fmt.Errorf("%s: %w", c.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Names lists the checker names, for reporting.
+func (s Suite) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Basic is the suite every renaming execution must pass regardless of
+// algorithm: exclusiveness, the instance's own name bound, and full
+// accounting.
+func Basic() Suite {
+	return Suite{Exclusive(), NameRange(0), Returned()}
+}
+
+// Drive runs k contenders holding origs (nil assigns 1..k) through r under
+// policy and plan and returns the checked-form record. It does not apply any
+// checkers itself — callers pick the suite matching the algorithm's claims.
+// An unexpected process panic is surfaced in Run.Res.Err; callers must treat
+// a non-nil Err as a failure before reading the rest of the record.
+func Drive(r Renamer, k int, origs []int64, policy sched.Policy, plan sched.CrashPlan) *Run {
+	if origs == nil {
+		origs = make([]int64, k)
+		for i := range origs {
+			origs[i] = int64(i + 1)
+		}
+	}
+	got := make([]int64, k)
+	oks := make([]bool, k)
+	res := sched.Run(k, origs, policy, plan, func(p *shmem.Proc) {
+		got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
+	})
+	return NewRun(origs, got, oks, res, r.MaxName())
+}
+
+// NewRun assembles the checked-form record from the raw per-pid outcome of
+// a driven execution: got[pid]/oks[pid] are Rename's return values and res
+// the scheduler summary. It is the single place the crashed/renamed/failed
+// classification lives; Drive uses it, and so do harnesses (the adversary
+// explorer) that must run the execution themselves.
+func NewRun(origs, got []int64, oks []bool, res sched.Result, maxName int64) *Run {
+	k := len(origs)
+	run := &Run{
+		K:       k,
+		Origs:   origs,
+		Names:   make(map[int]int64),
+		Res:     res,
+		MaxName: maxName,
+	}
+	for pid := 0; pid < k; pid++ {
+		if res.Crashed[pid] {
+			continue
+		}
+		if !oks[pid] {
+			run.Failed = append(run.Failed, pid)
+			continue
+		}
+		run.Names[pid] = got[pid]
+	}
+	return run
+}

@@ -1,0 +1,170 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// idRenamer assigns pid+1: correct, bounded, two steps per process.
+type idRenamer struct {
+	slots []shmem.Reg
+}
+
+func (r *idRenamer) Rename(p *shmem.Proc, orig int64) (int64, bool) {
+	p.Read(&r.slots[p.ID()])
+	p.Write(&r.slots[p.ID()], orig)
+	return int64(p.ID() + 1), true
+}
+
+func (r *idRenamer) MaxName() int64 { return int64(len(r.slots)) }
+func (r *idRenamer) Registers() int { return len(r.slots) }
+
+func cleanRun(t *testing.T, k int, plan sched.CrashPlan) *Run {
+	t.Helper()
+	r := &idRenamer{slots: make([]shmem.Reg, k)}
+	run := Drive(r, k, nil, sched.NewRandom(7), plan)
+	if run.Res.Err != nil {
+		t.Fatal(run.Res.Err)
+	}
+	return run
+}
+
+func TestDriveRecordShape(t *testing.T) {
+	run := cleanRun(t, 5, nil)
+	if run.K != 5 || len(run.Origs) != 5 || run.MaxName != 5 {
+		t.Fatalf("record shape wrong: %+v", run)
+	}
+	if len(run.Names) != 5 || len(run.Failed) != 0 {
+		t.Fatalf("expected 5 clean renames: %+v", run)
+	}
+	if run.Crashes() != 0 || run.Survivors() != 5 {
+		t.Fatalf("crash accounting wrong: %d/%d", run.Crashes(), run.Survivors())
+	}
+	if run.Res.Fingerprint == 0 {
+		t.Fatal("driven run has no schedule fingerprint")
+	}
+	if err := Basic().Check(run); err != nil {
+		t.Fatalf("clean run fails the basic suite: %v", err)
+	}
+}
+
+func TestDriveRecordsCrashes(t *testing.T) {
+	run := cleanRun(t, 4, sched.CrashAllBut(2))
+	if run.Crashes() != 3 || run.Survivors() != 1 {
+		t.Fatalf("crash accounting wrong: %d crashed", run.Crashes())
+	}
+	if _, ok := run.Names[2]; !ok {
+		t.Fatal("survivor missing from names")
+	}
+	if err := (Suite{Exclusive(), Returned(), AllRenamed()}).Check(run); err != nil {
+		t.Fatalf("crashed run fails: %v", err)
+	}
+}
+
+func TestExclusiveDetectsDuplicates(t *testing.T) {
+	run := &Run{K: 3, Names: map[int]int64{0: 2, 1: 2, 2: 3}, Res: emptyResult(3)}
+	err := Exclusive().Check(run)
+	if err == nil || !strings.Contains(err.Error(), "name 2") {
+		t.Fatalf("duplicate not detected: %v", err)
+	}
+	// Deterministic message: lowest pid pair reported.
+	if !strings.Contains(err.Error(), "process 0") || !strings.Contains(err.Error(), "process 1") {
+		t.Fatalf("nondeterministic duplicate report: %v", err)
+	}
+}
+
+func TestExclusiveDetectsInvalidName(t *testing.T) {
+	run := &Run{K: 1, Names: map[int]int64{0: 0}, Res: emptyResult(1)}
+	if err := Exclusive().Check(run); err == nil {
+		t.Fatal("invalid name 0 accepted")
+	}
+}
+
+func TestNameRange(t *testing.T) {
+	run := &Run{K: 2, MaxName: 3, Names: map[int]int64{0: 3, 1: 4}, Res: emptyResult(2)}
+	if err := NameRange(0).Check(run); err == nil || !strings.Contains(err.Error(), "exceeds bound 3") {
+		t.Fatalf("MaxName bound not applied: %v", err)
+	}
+	if err := NameRange(4).Check(run); err != nil {
+		t.Fatalf("explicit bound 4 should pass: %v", err)
+	}
+}
+
+func TestStepBound(t *testing.T) {
+	res := emptyResult(2)
+	res.Steps = []int64{5, 9}
+	run := &Run{K: 2, Res: res}
+	if err := StepBound(8).Check(run); err == nil || !strings.Contains(err.Error(), "process 1") {
+		t.Fatalf("step bound not enforced: %v", err)
+	}
+	if err := StepBound(9).Check(run); err != nil {
+		t.Fatalf("bound 9 should pass: %v", err)
+	}
+	if err := StepBound(0).Check(run); err != nil {
+		t.Fatalf("bound 0 must disable the check: %v", err)
+	}
+}
+
+func TestReturned(t *testing.T) {
+	run := &Run{K: 2, Names: map[int]int64{0: 1}, Res: emptyResult(2)}
+	if err := Returned().Check(run); err == nil || !strings.Contains(err.Error(), "process 1") {
+		t.Fatalf("unaccounted process not detected: %v", err)
+	}
+	run.Failed = []int{1}
+	if err := Returned().Check(run); err != nil {
+		t.Fatalf("failed process is accounted for: %v", err)
+	}
+}
+
+func TestAllRenamed(t *testing.T) {
+	run := &Run{K: 3, Names: map[int]int64{0: 1, 2: 3}, Failed: []int{1}, Res: emptyResult(3)}
+	if err := AllRenamed().Check(run); err == nil || !strings.Contains(err.Error(), "process 1") {
+		t.Fatalf("failure not detected: %v", err)
+	}
+}
+
+func TestHalfRenamed(t *testing.T) {
+	run := &Run{K: 4, Names: map[int]int64{0: 1}, Failed: []int{1, 2, 3}, Res: emptyResult(4)}
+	if err := HalfRenamed().Check(run); err == nil {
+		t.Fatal("1 of 4 renamed passed the majority check")
+	}
+	run.Names[1] = 2
+	run.Failed = []int{2, 3}
+	if err := HalfRenamed().Check(run); err != nil {
+		t.Fatalf("2 of 4 renamed must pass: %v", err)
+	}
+	// With crashes the majority claim is vacated.
+	crashed := &Run{K: 4, Names: map[int]int64{}, Failed: []int{3}, Res: emptyResult(4)}
+	crashed.Res.Crashed[0] = true
+	crashed.Res.Crashed[1] = true
+	crashed.Res.Crashed[2] = true
+	if err := HalfRenamed().Check(crashed); err != nil {
+		t.Fatalf("crashed run must not fail the majority check: %v", err)
+	}
+}
+
+func TestSuiteReportsCheckerName(t *testing.T) {
+	run := &Run{K: 2, Names: map[int]int64{0: 1, 1: 1}, Res: emptyResult(2)}
+	err := Basic().Check(run)
+	if err == nil || !strings.Contains(err.Error(), "exclusive:") {
+		t.Fatalf("suite error not prefixed with checker name: %v", err)
+	}
+	names := Basic().Names()
+	if len(names) != 3 || names[0] != "exclusive" {
+		t.Fatalf("suite names wrong: %v", names)
+	}
+}
+
+func TestAdHocChecker(t *testing.T) {
+	c := New("custom", func(r *Run) error { return nil })
+	if c.Name() != "custom" || c.Check(&Run{}) != nil {
+		t.Fatal("ad-hoc checker adapter broken")
+	}
+}
+
+func emptyResult(k int) sched.Result {
+	return sched.Result{Steps: make([]int64, k), Crashed: make([]bool, k)}
+}

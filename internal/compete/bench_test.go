@@ -8,29 +8,48 @@ import (
 )
 
 // BenchmarkCompeteSolo measures the uncontended Figure 1 competition (5
-// local steps) with the pair reset between iterations, free-running.
+// local steps) with the pair reset between iterations, free-running. The
+// per-iteration step count is captured for the first and last iterations
+// and must match: reused process or register state leaking across
+// iterations would skew steps/op, the paper's unit.
 func BenchmarkCompeteSolo(b *testing.B) {
 	b.ReportAllocs()
 	p := shmem.NewProc(0, 1, nil)
 	var pr Pair
+	var first, last int64
 	for i := 0; i < b.N; i++ {
 		pr.H.Poke(shmem.Null)
 		pr.R.Poke(shmem.Null)
+		before := p.Steps()
 		if !Compete(p, &pr, 7) {
 			b.Fatal("solo compete must win")
 		}
+		d := p.Steps() - before
+		if i == 0 {
+			first = d
+		}
+		last = d
 	}
+	b.StopTimer()
+	if first != last {
+		b.Fatalf("per-iteration steps drifted from %d to %d: state leaked across iterations", first, last)
+	}
+	b.ReportMetric(float64(p.Steps())/float64(b.N), "steps/op")
 }
 
 // BenchmarkCompeteDriven measures 4 contenders racing over a fresh field of
-// 8 pairs under the controller with a seeded random schedule.
+// 8 pairs under the controller. Field, controller and processes are rebuilt
+// every iteration and the schedule seed is fixed, so all iterations execute
+// the identical competition; the first and last iterations' total step
+// counts are asserted equal to keep steps/op honest.
 func BenchmarkCompeteDriven(b *testing.B) {
 	b.ReportAllocs()
+	var first, last, totalSteps int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		f := NewField(8)
 		b.StartTimer()
-		res := sched.Run(4, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+		res := sched.Run(4, nil, sched.NewRandom(1), nil, func(p *shmem.Proc) {
 			for j := 0; j < f.Len(); j++ {
 				if Compete(p, f.Pair(j), p.Name()) {
 					return
@@ -40,5 +59,19 @@ func BenchmarkCompeteDriven(b *testing.B) {
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
+		d := res.TotalSteps()
+		if i == 0 {
+			first = d
+		}
+		last = d
+		totalSteps += d
+	}
+	b.StopTimer()
+	if first != last {
+		b.Fatalf("per-iteration steps drifted from %d to %d: state leaked across iterations", first, last)
+	}
+	if totalSteps > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
 	}
 }

@@ -1,0 +1,157 @@
+// Package conformance is the single table through which every algorithm of
+// the paper gets adversarial coverage: one Case per algorithm, carrying a
+// fresh-instance builder, an original-name sampler and the invariant suite
+// encoding the algorithm's own theorem. The core test suite sweeps the
+// table across every shipped adversary family (conformance_test.go in
+// internal/core), and cmd/bench's -adversary mode records worst-case
+// observed steps against the same table — one source of truth for which
+// configuration "the algorithms" means.
+//
+// Suites are family-aware in the sense that liveness claims crashes
+// legitimately vacate (the Lemma 4 majority) self-gate on crash-free runs,
+// while exclusiveness, name ranges and step bounds are asserted
+// unconditionally — the paper quantifies them over every schedule and crash
+// pattern.
+package conformance
+
+import (
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Case describes one algorithm's conformance surface.
+type Case struct {
+	Name string
+	// New builds a fresh instance for n contenders; seed determinizes the
+	// sampled expander graphs.
+	New func(n int, seed uint64) check.Renamer
+	// Origs samples n distinct original names from the range the case's
+	// algorithm is configured for.
+	Origs func(n int, seed uint64) []int64
+	// Suite is the full invariant suite for population n under the named
+	// adversary family.
+	Suite func(n int, family string) check.Suite
+	// StepBound is the paper's closed-form per-process step bound for
+	// population n, 0 when the theorem states none for the composition.
+	StepBound func(n int) int64
+}
+
+// Names is the known original-name range [1..Names] used by the algorithms
+// that need one; identity-oblivious algorithms sample from HugeNames.
+const (
+	Names     = 1 << 10
+	PolyNames = 1 << 14 // PolyLog needs N >> k or the epoch construction is the identity
+	HugeNames = 1 << 28
+)
+
+func origsFrom(rangeN int) func(n int, seed uint64) []int64 {
+	return func(n int, seed uint64) []int64 {
+		return xrand.New(xrand.Mix(seed, 0x0815)).Sample(n, rangeN)
+	}
+}
+
+// noBound is the StepBound of compositions the paper gives no closed-form
+// per-process bound for at practical scale.
+func noBound(n int) int64 { return 0 }
+
+// Cases returns the table: all six Section 3 algorithms in paper order.
+// Bounds are seed-independent, so probes are built with a fixed seed.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:      "majority",
+			New:       func(n int, seed uint64) check.Renamer { return core.NewMajority(n, Names, core.Config{Seed: seed}) },
+			Origs:     origsFrom(Names),
+			StepBound: func(n int) int64 { return core.NewMajority(n, Names, core.Config{Seed: 1}).MaxSteps() },
+			Suite: func(n int, family string) check.Suite {
+				probe := core.NewMajority(n, Names, core.Config{Seed: 1})
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(probe.MaxName()),
+					check.StepBound(probe.MaxSteps()),
+					check.Returned(),
+					check.HalfRenamed(), // Lemma 4; self-gates on crash-free runs
+				}
+			},
+		},
+		{
+			Name:      "basic",
+			New:       func(n int, seed uint64) check.Renamer { return core.NewBasic(n, Names, core.Config{Seed: seed}) },
+			Origs:     origsFrom(Names),
+			StepBound: func(n int) int64 { return core.NewBasic(n, Names, core.Config{Seed: 1}).MaxSteps() },
+			Suite: func(n int, family string) check.Suite {
+				probe := core.NewBasic(n, Names, core.Config{Seed: 1})
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(probe.MaxName()),
+					check.StepBound(probe.MaxSteps()),
+					check.Returned(),
+					check.AllRenamed(),
+				}
+			},
+		},
+		{
+			Name:      "polylog",
+			New:       func(n int, seed uint64) check.Renamer { return core.NewPolyLog(n, PolyNames, core.Config{Seed: seed}) },
+			Origs:     origsFrom(PolyNames),
+			StepBound: func(n int) int64 { return core.NewPolyLog(n, PolyNames, core.Config{Seed: 1}).MaxSteps() },
+			Suite: func(n int, family string) check.Suite {
+				probe := core.NewPolyLog(n, PolyNames, core.Config{Seed: 1})
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(probe.MaxName()),
+					check.StepBound(probe.MaxSteps()),
+					check.Returned(),
+					check.AllRenamed(),
+				}
+			},
+		},
+		{
+			Name:      "efficient",
+			New:       func(n int, seed uint64) check.Renamer { return core.NewEfficient(n, 0, core.Config{Seed: seed}) },
+			Origs:     origsFrom(HugeNames),
+			StepBound: noBound,
+			Suite: func(n int, family string) check.Suite {
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(int64(2*n - 1)), // Theorem 2
+					check.Returned(),
+					check.AllRenamed(),
+				}
+			},
+		},
+		{
+			Name: "almostadaptive",
+			New: func(n int, seed uint64) check.Renamer {
+				return core.NewAlmostAdaptive(Names, n, core.Config{Seed: seed})
+			},
+			Origs:     origsFrom(Names),
+			StepBound: noBound,
+			Suite: func(n int, family string) check.Suite {
+				probe := core.NewAlmostAdaptive(Names, n, core.Config{Seed: 1})
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(probe.NameBound(n)), // Theorem 3 adaptive bound
+					check.Returned(),
+					check.AllRenamed(),
+				}
+			},
+		},
+		{
+			Name:      "adaptive",
+			New:       func(n int, seed uint64) check.Renamer { return core.NewAdaptive(n, core.Config{Seed: seed}) },
+			Origs:     origsFrom(HugeNames),
+			StepBound: noBound,
+			Suite: func(n int, family string) check.Suite {
+				probe := core.NewAdaptive(n, core.Config{Seed: 1})
+				return check.Suite{
+					check.Exclusive(),
+					check.NameRange(probe.NameBound(n)), // Theorem 4: 8k - lg k - 1
+					check.Returned(),
+					check.AllRenamed(),
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,68 @@
+// The conformance sweep lives in package core_test (an external test) so it
+// can consume internal/conformance — the shared algorithm table, which
+// imports core — without an import cycle.
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/conformance"
+	"repro/internal/xrand"
+)
+
+// TestConformanceUnderAdversaryFamilies is the acceptance run: all six
+// algorithms of the shared conformance table against every shipped
+// adversary family, seed-matrixed, each under its full invariant suite
+// (exclusiveness, the theorem's name bound, the wait-free step bound where
+// stated, full accounting, and the appropriate liveness guarantee). A
+// violation fails with the shrunk one-line reproducer.
+func TestConformanceUnderAdversaryFamilies(t *testing.T) {
+	sizes := []int{2, 5, 8}
+	runs := 4
+	if testing.Short() {
+		sizes = []int{2, 5}
+		runs = 2
+	}
+	for _, tc := range conformance.Cases() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			// Hash the full case name into the campaign seed so no two
+			// algorithms sweep an identical seed grid (runSeed itself mixes
+			// only family/n/run, not the label).
+			campaignSeed := uint64(0xc0f0)
+			for _, b := range []byte(tc.Name) {
+				campaignSeed = xrand.Mix(campaignSeed, uint64(b))
+			}
+			out := adversary.Explore(adversary.Spec{
+				Label: tc.Name,
+				New:   tc.New,
+				Origs: tc.Origs,
+				Suite: tc.Suite,
+				Ns:    sizes,
+				Runs:  runs,
+				Seed:  campaignSeed,
+			})
+			if len(out.Violations) > 0 {
+				v := out.Violations[0]
+				if v.Shrunk != nil {
+					t.Fatalf("%v\n  reproducer: %s", v, *v.Shrunk)
+				}
+				t.Fatal(v)
+			}
+			wantRuns := len(sizes) * runs * len(adversary.All())
+			if out.Runs != wantRuns {
+				t.Fatalf("explored %d runs, want %d", out.Runs, wantRuns)
+			}
+			if out.Distinct < out.Runs/4 {
+				t.Fatalf("schedule coverage suspiciously low: %d distinct over %d runs", out.Distinct, out.Runs)
+			}
+			for _, cell := range out.Cells {
+				if cell.Distinct < 1 {
+					t.Fatalf("cell %s n=%d reports no distinct schedules", cell.Family, cell.N)
+				}
+			}
+			t.Log(out.Summary())
+		})
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/xrand"
@@ -16,45 +17,23 @@ type renameRun struct {
 }
 
 // driveRenamer runs k contenders with the given distinct original names
-// through r under a seeded random schedule (and optional crash plan),
-// asserting name exclusiveness. A nil origs assigns names 1..k.
+// through r under a seeded random schedule (and optional crash plan). It is
+// a thin wrapper over the checked harness: every driven run passes the
+// unconditional invariants (exclusiveness and full accounting) before the
+// caller sees it; algorithm-specific claims (name ranges, step bounds,
+// liveness) are asserted by the individual tests and by the conformance
+// table in conformance_test.go, which sweeps the full suite across the
+// adversary families. A nil origs assigns names 1..k.
 func driveRenamer(t *testing.T, r Renamer, k int, origs []int64, seed uint64, plan sched.CrashPlan) renameRun {
 	t.Helper()
-	if origs == nil {
-		origs = make([]int64, k)
-		for i := range origs {
-			origs[i] = int64(i + 1)
-		}
+	run := check.Drive(r, k, origs, sched.NewRandom(seed), plan)
+	if run.Res.Err != nil {
+		t.Fatal(run.Res.Err)
 	}
-	got := make([]int64, k)
-	oks := make([]bool, k)
-	res := sched.Run(k, origs, sched.NewRandom(seed), plan, func(p *shmem.Proc) {
-		got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
-	})
-	if res.Err != nil {
-		t.Fatal(res.Err)
+	if err := (check.Suite{check.Exclusive(), check.Returned()}).Check(run); err != nil {
+		t.Fatalf("invariant violated (seed %d, fingerprint %#x): %v", seed, run.Res.Fingerprint, err)
 	}
-	run := renameRun{names: make(map[int]int64), res: res}
-	used := make(map[int64]int)
-	for pid := 0; pid < k; pid++ {
-		if res.Crashed[pid] {
-			continue
-		}
-		if !oks[pid] {
-			run.failed = append(run.failed, pid)
-			continue
-		}
-		n := got[pid]
-		if n < 1 {
-			t.Fatalf("process %d acquired invalid name %d", pid, n)
-		}
-		if other, dup := used[n]; dup {
-			t.Fatalf("exclusiveness violated: name %d held by %d and %d (seed %d)", n, other, pid, seed)
-		}
-		used[n] = pid
-		run.names[pid] = n
-	}
-	return run
+	return renameRun{names: run.Names, failed: run.Failed, res: run.Res}
 }
 
 // sampleOrigs draws k distinct original names from [1..n].

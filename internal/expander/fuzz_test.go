@@ -1,0 +1,89 @@
+package expander
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// FuzzExpanderLossless fuzzes the sampled-graph constructor over (seed, N,
+// L, profile) and asserts the structural properties every graph must have
+// regardless of how lucky the sample is: parameters within the Lemma 3
+// shape, edges in range, bit-for-bit determinism (two graphs from the same
+// seed agree on every edge — the property all processes rely on to share a
+// graph without shared memory), and internal consistency of the
+// CheckLossless report.
+func FuzzExpanderLossless(f *testing.F) {
+	f.Add(uint64(1), 64, 4, false)
+	f.Add(uint64(5), 1024, 8, true)
+	f.Add(uint64(0x9e3779b9), 4096, 16, false)
+	f.Add(uint64(99), 2, 1, true)
+	f.Fuzz(func(t *testing.T, seed uint64, nIn, l int, paper bool) {
+		// Clamp through unsigned arithmetic: negating math.MinInt overflows
+		// back to itself, so a signed abs-then-mod can stay negative.
+		nIn = 1 + int(uint(nIn)%4096)
+		l = 1 + int(uint(l)%64)
+		if l > nIn {
+			l = nIn
+		}
+		prof := Practical
+		if paper {
+			prof = Paper
+		}
+		g := New(nIn, l, prof, seed)
+		if g.Degree < 2 {
+			t.Fatalf("degree %d < 2", g.Degree)
+		}
+		if g.M < g.Degree {
+			t.Fatalf("width M=%d below degree %d", g.M, g.Degree)
+		}
+		g2 := New(nIn, l, prof, seed)
+		rng := xrand.New(xrand.Mix(seed, 0xf022))
+		// Probe a handful of inputs: edge range and determinism.
+		for probe := 0; probe < 8; probe++ {
+			v := int64(1 + rng.Intn(nIn))
+			for i := 0; i < g.Degree; i++ {
+				w := g.Neighbor(v, i)
+				if w < 1 || w > g.M {
+					t.Fatalf("neighbor(%d,%d) = %d outside [1..%d]", v, i, w, g.M)
+				}
+				if w2 := g2.Neighbor(v, i); w2 != w {
+					t.Fatalf("graphs from the same seed disagree: neighbor(%d,%d) %d vs %d", v, i, w, w2)
+				}
+			}
+		}
+		// Neighbor-set and matching consistency over a random contender set.
+		x := 1 + rng.Intn(l)
+		X := rng.Sample(x, nIn)
+		adj := g.NeighborSet(X)
+		if len(adj) > len(X)*g.Degree {
+			t.Fatalf("|N(X)| = %d exceeds |X|·Δ = %d", len(adj), len(X)*g.Degree)
+		}
+		for w, cnt := range adj {
+			if w < 1 || w > g.M {
+				t.Fatalf("neighbor set contains out-of-range output %d", w)
+			}
+			if cnt < 1 || cnt > len(X) {
+				t.Fatalf("output %d has adjacency count %d outside [1..%d]", w, cnt, len(X))
+			}
+		}
+		if m := g.MatchedInputs(X); m < 0 || m > len(X) {
+			t.Fatalf("matched inputs %d outside [0..%d]", m, len(X))
+		}
+		// CheckLossless report consistency (not the probabilistic guarantee —
+		// an unlucky sample is legal; an inconsistent report is not).
+		rep := g.CheckLossless(6, xrand.New(xrand.Mix(seed, 0x10557)))
+		if rep.Trials != 6 {
+			t.Fatalf("report trials %d, want 6", rep.Trials)
+		}
+		if rep.MinExpansion <= 0 || rep.MinExpansion > 1 {
+			t.Fatalf("MinExpansion %v outside (0, 1]", rep.MinExpansion)
+		}
+		if rep.MinMatchedFrac < 0 || rep.MinMatchedFrac > 1 {
+			t.Fatalf("MinMatchedFrac %v outside [0, 1]", rep.MinMatchedFrac)
+		}
+		if (rep.Violations == 0) != (rep.MinMatchedFrac > 0.5) {
+			t.Fatalf("violations %d inconsistent with MinMatchedFrac %v", rep.Violations, rep.MinMatchedFrac)
+		}
+	})
+}

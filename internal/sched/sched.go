@@ -55,6 +55,25 @@ const (
 	phasePanicked                  // failed with an unexpected panic
 )
 
+// String names the phase for diagnostics (notably the non-pending panics,
+// where "done" versus "crashed" tells the policy author what went wrong).
+func (ph procPhase) String() string {
+	switch ph {
+	case phaseRunning:
+		return "running"
+	case phasePending:
+		return "pending"
+	case phaseDone:
+		return "done"
+	case phaseCrashed:
+		return "crashed"
+	case phasePanicked:
+		return "panicked"
+	default:
+		return fmt.Sprintf("procPhase(%d)", uint8(ph))
+	}
+}
+
 // seat is the per-process handoff slot. The grant itself is a lock-free
 // publication: the driver writes crash and budget, then releases them with
 // granted.Store(1); the process observes the flag (spinning briefly, then
@@ -96,7 +115,8 @@ type Controller struct {
 	pbits    []uint64 // pending bitmap: bit pid set ⟺ phase[pid] == phasePending
 	npending int
 
-	pendBuf []int // reused by Run for PendingInto
+	pendBuf []int  // reused by Run for PendingInto
+	fp      uint64 // incremental schedule fingerprint (see Fingerprint)
 }
 
 // gate adapts the Controller to shmem.Gate for one process.
@@ -314,10 +334,34 @@ func (c *Controller) NextPending(after int) int {
 // Intent returns the published next operation of a pending process.
 func (c *Controller) Intent(pid int) shmem.Intent {
 	if c.phase[pid] != phasePending {
-		panic(fmt.Sprintf("sched: Intent(%d) of non-pending process", pid))
+		panic(fmt.Sprintf("sched: Intent(%d) of non-pending process (phase %s)", pid, c.phase[pid]))
 	}
 	return c.intent[pid]
 }
+
+// N returns the number of processes the controller was built with.
+func (c *Controller) N() int { return c.n }
+
+// NextPendingKind returns the smallest pending pid greater than after whose
+// posted intent is a kind operation, or -1 if there is none. It is the
+// intent-aware counterpart of NextPending, letting adversarial policies scan
+// just the pending readers (or writers) without materializing the pending
+// set.
+func (c *Controller) NextPendingKind(after int, kind shmem.OpKind) int {
+	for pid := c.NextPending(after); pid >= 0; pid = c.NextPending(pid) {
+		if c.intent[pid].Kind == kind {
+			return pid
+		}
+	}
+	return -1
+}
+
+// Fingerprint returns a hash identifying the schedule driven so far: every
+// grant and crash folds (pid, operation kind, run length, crash) into it, so
+// for a fixed body two executions share a fingerprint exactly when the
+// adversary made the same decisions in the same order. Explorers use it to
+// count distinct interleavings actually exercised.
+func (c *Controller) Fingerprint() uint64 { return c.fp }
 
 // Proc returns the process handle (for step counts and identity).
 func (c *Controller) Proc(pid int) *shmem.Proc { return c.procs[pid] }
@@ -331,9 +375,21 @@ func (c *Controller) Crashed(pid int) bool { return c.phase[pid] == phaseCrashed
 // grant hands a pending process a run of k steps (crash aborts it instead)
 // and blocks until every process is again blocked or finished.
 func (c *Controller) grant(pid, k int, crash bool) {
-	if c.phase[pid] != phasePending {
-		panic(fmt.Sprintf("sched: grant to non-pending process %d", pid))
+	if pid < 0 || pid >= c.n {
+		panic(fmt.Sprintf("sched: grant to process %d outside [0..%d)", pid, c.n))
 	}
+	if c.phase[pid] != phasePending {
+		panic(fmt.Sprintf("sched: grant to non-pending process %d (phase %s): the policy returned a pid with no posted intent", pid, c.phase[pid]))
+	}
+	// Fold the decision into the schedule fingerprint before executing it:
+	// (pid, posted operation kind, run length, crash bit) per grant uniquely
+	// identifies the interleaving for a fixed body. pid and k are mixed as
+	// separate words so no batch size can alias another pid's decision.
+	ev := uint64(k)<<8 | uint64(c.intent[pid].Kind)<<1
+	if crash {
+		ev |= 1
+	}
+	c.fp = xrand.Mix(xrand.Mix(c.fp+1, uint64(pid)), ev)
 	c.mu.Lock()
 	c.phase[pid] = phaseRunning
 	c.pbits[uint(pid)>>6] &^= 1 << (uint(pid) & 63)
@@ -371,7 +427,7 @@ func (c *Controller) StepN(pid, k int) {
 // The operation is not performed — the paper's crash model.
 func (c *Controller) Crash(pid int) {
 	if c.phase[pid] != phasePending {
-		panic(fmt.Sprintf("sched: Crash(%d) of non-pending process", pid))
+		panic(fmt.Sprintf("sched: Crash(%d) of non-pending process (phase %s)", pid, c.phase[pid]))
 	}
 	c.grant(pid, 1, true)
 }
@@ -390,9 +446,10 @@ func (c *Controller) Abort() {
 
 // Result summarizes a completed execution.
 type Result struct {
-	Steps   []int64 // local steps per process
-	Crashed []bool  // crash-injected processes
-	Err     error   // first unexpected panic, if any
+	Steps       []int64 // local steps per process
+	Crashed     []bool  // crash-injected processes
+	Err         error   // first unexpected panic, if any
+	Fingerprint uint64  // schedule hash of the driven execution (0 for RunFree)
 }
 
 // MaxSteps returns the maximum per-process step count, the quantity the
@@ -417,7 +474,7 @@ func (r Result) TotalSteps() int64 {
 }
 
 func (c *Controller) result() Result {
-	res := Result{Steps: make([]int64, c.n), Crashed: make([]bool, c.n)}
+	res := Result{Steps: make([]int64, c.n), Crashed: make([]bool, c.n), Fingerprint: c.fp}
 	for i := 0; i < c.n; i++ {
 		res.Steps[i] = c.procs[i].Steps()
 		res.Crashed[i] = c.phase[i] == phaseCrashed

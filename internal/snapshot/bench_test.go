@@ -9,26 +9,46 @@ import (
 
 // BenchmarkUpdateScanSolo measures one Update followed by one Scan by a
 // single free-running process over 8 segments — the snapshot fast path with
-// no interference.
+// no interference. The object is rebuilt every iteration and the
+// per-iteration step delta is asserted constant: letting sequence numbers
+// and embedded views accumulate across b.N (as the pre-PR-2 version did)
+// makes steps/op depend on iteration history.
 func BenchmarkUpdateScanSolo(b *testing.B) {
-	o := New[int64](8)
-	p := shmem.NewProc(0, 1, nil)
 	b.ReportAllocs()
+	p := shmem.NewProc(0, 1, nil)
+	var first, last int64
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := New[int64](8)
+		b.StartTimer()
+		before := p.Steps()
 		o.Update(p, 0, int64(i))
 		o.Scan(p)
+		d := p.Steps() - before
+		if i == 0 {
+			first = d
+		}
+		last = d
 	}
+	b.StopTimer()
+	if first != last {
+		b.Fatalf("per-iteration steps drifted from %d to %d: state leaked across iterations", first, last)
+	}
+	b.ReportMetric(float64(p.Steps())/float64(b.N), "steps/op")
 }
 
 // BenchmarkUpdateScanDriven measures 4 processes doing update+scan rounds
-// under the controller with a seeded random schedule.
+// under the controller. Object and processes are rebuilt per iteration and
+// the schedule seed is fixed, so every iteration is the identical
+// execution; first and last iterations' total steps are asserted equal.
 func BenchmarkUpdateScanDriven(b *testing.B) {
 	b.ReportAllocs()
+	var first, last, totalSteps int64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		o := New[int64](4)
 		b.StartTimer()
-		res := sched.Run(4, nil, sched.NewRandom(uint64(i)+1), nil, func(p *shmem.Proc) {
+		res := sched.Run(4, nil, sched.NewRandom(1), nil, func(p *shmem.Proc) {
 			for round := 0; round < 4; round++ {
 				o.Update(p, p.ID(), int64(round))
 				o.Scan(p)
@@ -37,13 +57,30 @@ func BenchmarkUpdateScanDriven(b *testing.B) {
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
+		d := res.TotalSteps()
+		if i == 0 {
+			first = d
+		}
+		last = d
+		totalSteps += d
+	}
+	b.StopTimer()
+	if first != last {
+		b.Fatalf("per-iteration steps drifted from %d to %d: state leaked across iterations", first, last)
+	}
+	if totalSteps > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
 	}
 }
 
 // BenchmarkScanFree measures concurrent free-running scans against one
-// updater, the contended double-collect path.
+// updater, the contended double-collect path. The object is fresh per
+// iteration; step counts legitimately vary between iterations here (real
+// concurrency retries the double collect), so only the average is reported.
 func BenchmarkScanFree(b *testing.B) {
 	b.ReportAllocs()
+	var totalSteps int64
 	for i := 0; i < b.N; i++ {
 		o := New[int64](4)
 		res := sched.RunFree(4, nil, func(p *shmem.Proc) {
@@ -58,5 +95,10 @@ func BenchmarkScanFree(b *testing.B) {
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
+		totalSteps += res.TotalSteps()
+	}
+	b.StopTimer()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
 	}
 }
