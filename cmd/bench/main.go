@@ -1,22 +1,28 @@
 // Command bench runs the repository benchmark suite: a microbenchmark of
 // the scheduler grant path against the frozen pre-refactor baseline, and a
 // grid of driven executions over (algorithm, n, policy, crash plan). It
-// emits a JSON trajectory file (BENCH_PR1.json) recording ns/step,
-// steps/sec, allocs/step and observed max-steps against the paper's bound
-// where one is stated, so future performance PRs are judged against a
-// committed baseline.
+// emits a JSON trajectory file recording ns/step, steps/sec, allocs/step and
+// observed max-steps against the paper's bound where one is stated, so
+// future performance PRs are judged against a committed baseline. The output
+// path is a required flag — trajectory files are named per PR
+// (BENCH_PR3.json is the committed one), and a silent default would keep
+// overwriting the oldest.
 //
 // With -adversary it additionally sweeps every shipped adversary family
 // (package adversary) over each core algorithm, recording the worst-case
 // observed per-process steps next to the paper's bound and the number of
-// distinct schedules covered; any invariant violation aborts the run with a
+// distinct schedules covered, and runs the search-strategy comparison: for
+// each (algorithm, n) cell, the seeded baseline versus DPOR (budgeted to
+// the seeded sweep's fingerprint coverage), sleep sets, and coverage-guided
+// mutation, with states-explored / states-pruned per strategy next to the
+// coverage each achieved. Any invariant violation aborts the run with a
 // shrunk one-line reproducer.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR1.json        # full grid
-//	go run ./cmd/bench -quick                     # CI smoke run
-//	go run ./cmd/bench -quick -adversary          # + adversary sweep
+//	go run ./cmd/bench -out BENCH_PR3.json        # full grid
+//	go run ./cmd/bench -quick -out /tmp/b.json    # CI smoke run
+//	go run ./cmd/bench -quick -adversary -out -   # + adversary sweep, stdout
 package main
 
 import (
@@ -89,6 +95,29 @@ type AdversaryEntry struct {
 	Violations  int    `json:"violations"`
 }
 
+// StrategyEntry records one (algorithm, n, strategy) cell of the search-
+// strategy comparison: how much fingerprint coverage the strategy bought
+// for how many explored decisions. Explored counts distinct scheduling
+// decisions (the model-checking "states visited" metric); the grants tree
+// strategies re-execute to reconstruct prefixes are reported separately as
+// Replayed, so the reconstruction overhead of stateless search is visible
+// next to the reduction. DPOR rows are coverage-matched — their execution
+// budget is the seeded row's Distinct, so Explored below the seeded row's
+// is partial-order reduction, not a smaller sweep.
+type StrategyEntry struct {
+	Algorithm  string `json:"algorithm"`
+	N          int    `json:"n"`
+	Strategy   string `json:"strategy"`
+	Runs       int    `json:"runs"`
+	Distinct   int    `json:"distinct_schedules"`
+	Explored   int    `json:"states_explored"`
+	Replayed   int    `json:"states_replayed"`
+	Pruned     int    `json:"states_pruned"`
+	Complete   bool   `json:"complete"`
+	WorstSteps int64  `json:"worst_steps"`
+	Violations int    `json:"violations"`
+}
+
 // Report is the whole trajectory file.
 type Report struct {
 	PR         int              `json:"pr"`
@@ -100,6 +129,7 @@ type Report struct {
 	Micro      []MicroPair      `json:"controller_step"`
 	Grid       []GridEntry      `json:"grid"`
 	Adversary  []AdversaryEntry `json:"adversary,omitempty"`
+	Strategies []StrategyEntry  `json:"strategies,omitempty"`
 }
 
 func mallocs() uint64 {
@@ -317,6 +347,79 @@ func runAdversary(sizes []int, runs int) []AdversaryEntry {
 	return out
 }
 
+// runStrategies is the search-strategy comparison over the conformance
+// table at tiny populations: the seeded baseline (all families) against
+// DPOR, sleep sets, and coverage-guided mutation on the same cells. The
+// DPOR budget is set to the seeded row's distinct-fingerprint count, so its
+// rows answer the question the refactor poses: what does equal coverage
+// cost? A cell where dpor.states_explored < seeded.states_explored at
+// dpor.distinct >= seeded.distinct demonstrates the pruning.
+func runStrategies(runs int) []StrategyEntry {
+	var out []StrategyEntry
+	prunedCells := 0
+	for _, a := range conformance.Cases() {
+		for _, n := range []int{2, 3} {
+			explore := func(name string, maker adversary.StrategyMaker, cellRuns int, fams []adversary.Family) StrategyEntry {
+				o := adversary.Explore(adversary.Spec{
+					Label:    a.Name,
+					New:      a.New,
+					Origs:    a.Origs,
+					Suite:    a.Suite,
+					Ns:       []int{n},
+					Families: fams,
+					Runs:     cellRuns,
+					Seed:     0x57a7 ^ uint64(n),
+					Strategy: maker,
+				})
+				complete := len(o.Cells) > 0
+				for _, c := range o.Cells {
+					complete = complete && c.Complete
+				}
+				for _, v := range o.Violations {
+					fmt.Fprintf(os.Stderr, "strategy %s VIOLATION: %v\n", name, v)
+					if v.Shrunk != nil {
+						fmt.Fprintf(os.Stderr, "  reproducer: %s\n", *v.Shrunk)
+					}
+				}
+				if len(o.Violations) > 0 {
+					os.Exit(1)
+				}
+				return StrategyEntry{
+					Algorithm: a.Name, N: n, Strategy: name,
+					Runs: o.Runs, Distinct: o.Distinct,
+					Explored: o.Explored, Replayed: o.Replayed,
+					Pruned: o.Pruned, Complete: complete,
+					WorstSteps: o.MaxSteps, Violations: len(o.Violations),
+				}
+			}
+			families := adversary.All()
+			one := families[:1] // tree searches make their own decisions; the family only names the cell
+			seeded := explore("seeded", nil, runs, families)
+			budget := seeded.Distinct
+			if budget < 1 {
+				budget = 1
+			}
+			dpor := explore("dpor", adversary.DPOR(budget), budget, one)
+			sleep := explore("sleepset", adversary.SleepSets(seeded.Runs, n-1), seeded.Runs, one)
+			cov := explore("covguided", adversary.CoverageGuided(seeded.Runs), seeded.Runs, one)
+			out = append(out, seeded, dpor, sleep, cov)
+			if dpor.Distinct >= seeded.Distinct && dpor.Explored < seeded.Explored {
+				prunedCells++
+			}
+			fmt.Fprintf(os.Stderr,
+				"strategy %-14s n=%d  seeded %5d explored/%4d distinct  dpor %5d/%4d  sleepset %5d/%4d  covguided %5d/%4d\n",
+				a.Name, n, seeded.Explored, seeded.Distinct, dpor.Explored, dpor.Distinct,
+				sleep.Explored, sleep.Distinct, cov.Explored, cov.Distinct)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "strategy sweep: %d cells demonstrate DPOR pruning (equal coverage, fewer explored states)\n", prunedCells)
+	if prunedCells == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no cell demonstrates DPOR pruning against the seeded baseline")
+		os.Exit(1)
+	}
+	return out
+}
+
 func runGrid(sizes []int, runs int) []GridEntry {
 	var out []GridEntry
 	for _, a := range algos {
@@ -365,11 +468,16 @@ func runGrid(sizes []int, runs int) []GridEntry {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR1.json", "output JSON path ('-' for stdout)")
+	out := flag.String("out", "", "output JSON path ('-' for stdout); required — trajectory files are named per PR")
 	quick := flag.Bool("quick", false, "small grid for CI smoke runs")
 	runs := flag.Int("runs", 3, "driven executions per grid configuration")
-	adversarial := flag.Bool("adversary", false, "sweep every adversary family per algorithm, recording worst-case observed steps vs the paper bound")
+	adversarial := flag.Bool("adversary", false, "sweep every adversary family per algorithm, recording worst-case observed steps vs the paper bound, plus the search-strategy comparison")
 	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "bench: -out is required (e.g. -out BENCH_PR3.json, or '-' for stdout)")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	microSteps := int64(200000)
 	stepnSteps := int64(2000000)
@@ -383,8 +491,8 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         1,
-		Suite:      "zero-allocation lockstep scheduler",
+		PR:         3,
+		Suite:      "pluggable exploration engine (strategies + model checker)",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -411,10 +519,13 @@ func main() {
 	rep.Grid = runGrid(sizes, *runs)
 	if *adversarial {
 		advRuns := 32
+		stratRuns := 24
 		if *quick {
 			advRuns = 6
+			stratRuns = 8
 		}
 		rep.Adversary = runAdversary(sizes, advRuns)
+		rep.Strategies = runStrategies(stratRuns)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

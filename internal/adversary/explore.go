@@ -2,8 +2,10 @@ package adversary
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/check"
+	"repro/internal/explore"
 	"repro/internal/sched"
 	"repro/internal/shmem"
 	"repro/internal/xrand"
@@ -40,6 +42,11 @@ type Spec struct {
 	// Seed derives every run seed; two campaigns with equal specs explore
 	// identical schedules.
 	Seed uint64
+	// Strategy builds each (family, n) cell's search strategy. nil defaults
+	// to Seeded() — the pre-strategy fan-out of independent runs, one per
+	// seed — so existing campaigns, tests, and shrunk reproducer lines are
+	// untouched. DPOR, SleepSets and CoverageGuided plug in here.
+	Strategy StrategyMaker
 }
 
 func (s *Spec) normalize() {
@@ -98,6 +105,10 @@ type Violation struct {
 	N      int
 	Seed   uint64
 	Err    error
+	// Trace is the grant schedule of the violating execution when the
+	// strategy drove it decision by decision (tree strategies); nil for
+	// seeded runs, whose (family, seed) pair already replays the schedule.
+	Trace sched.Trace
 	// Shrunk is the minimized reproducer (set by Explore; Shrink fills it).
 	Shrunk *Reproducer
 }
@@ -110,11 +121,16 @@ func (v Violation) String() string {
 type CellStats struct {
 	Family    string
 	N         int
-	Runs      int
-	Distinct  int   // distinct schedule fingerprints observed
-	MaxSteps  int64 // worst per-process local-step count observed
-	Crashes   int   // total crash injections across runs
-	Violating int   // runs that violated the suite
+	Strategy  string // search strategy that drove the cell
+	Runs      int    // complete executions
+	Distinct  int    // distinct schedule fingerprints observed
+	MaxSteps  int64  // worst per-process local-step count observed
+	Crashes   int    // total crash injections across runs
+	Violating int    // runs that violated the suite
+	Explored  int    // distinct scheduling decisions executed by the search
+	Replayed  int    // prefix grants re-executed for state reconstruction (tree strategies)
+	Pruned    int    // enabled choices skipped by partial-order reasoning
+	Complete  bool   // the strategy exhausted its search space for this cell
 }
 
 // Outcome is the result of one Explore campaign.
@@ -123,6 +139,9 @@ type Outcome struct {
 	Runs       int   // total runs executed
 	Distinct   int   // distinct schedule fingerprints across the campaign
 	MaxSteps   int64 // worst per-process step count across the campaign
+	Explored   int   // distinct scheduling decisions executed across the campaign
+	Replayed   int   // reconstruction grants re-executed by tree strategies
+	Pruned     int   // choices skipped by partial-order reasoning
 	Cells      []CellStats
 	Violations []Violation
 }
@@ -151,10 +170,14 @@ func runOnce(spec *Spec, fam Family, n int, seed uint64) (*check.Run, error) {
 	return run, spec.suiteFor(n, fam.Name).Check(run)
 }
 
-// Explore sweeps the campaign grid, fanning each cell's seeded runs across
-// workers via sched.ParallelRuns, and reports coverage (distinct schedule
-// fingerprints), worst-case observed steps, and every invariant violation —
-// the first of which is shrunk to a minimal reproducer.
+// Explore sweeps the campaign grid as a thin driver over the strategy
+// layer: each (family, n) cell instantiates the spec's StrategyMaker
+// (Seeded by default, which fans the cell's independent runs across workers
+// via sched.ParallelRuns exactly as before) and hands it to explore.Drive.
+// The outcome reports coverage (distinct schedule fingerprints), search
+// effort (decisions explored, choices pruned), worst-case observed steps,
+// and every invariant violation — the first of which is shrunk to a minimal
+// reproducer.
 func Explore(spec Spec) Outcome {
 	spec.normalize()
 	out := Outcome{Label: spec.Label}
@@ -164,6 +187,9 @@ func Explore(spec Spec) Outcome {
 			cell := exploreCell(&spec, fam, n, seen)
 			out.Cells = append(out.Cells, cell.stats)
 			out.Runs += cell.stats.Runs
+			out.Explored += cell.stats.Explored
+			out.Replayed += cell.stats.Replayed
+			out.Pruned += cell.stats.Pruned
 			if cell.stats.MaxSteps > out.MaxSteps {
 				out.MaxSteps = cell.stats.MaxSteps
 			}
@@ -172,8 +198,15 @@ func Explore(spec Spec) Outcome {
 	}
 	out.Distinct = len(seen)
 	if len(out.Violations) > 0 {
-		rep := Shrink(&spec, out.Violations[0])
-		out.Violations[0].Shrunk = &rep
+		v := out.Violations[0]
+		rep := Shrink(&spec, v)
+		// Tree-strategy violations (non-nil Trace) are attributed to the cell
+		// label and pinned seed, which did not drive the schedule, so Shrink
+		// may come back with a line that does not replay. Attach only a
+		// verified reproducer; otherwise the Trace is the recipe.
+		if v.Trace == nil || Replay(&spec, rep) != nil {
+			out.Violations[0].Shrunk = &rep
+		}
 	}
 	return out
 }
@@ -183,62 +216,148 @@ type cellResult struct {
 	violations []Violation
 }
 
-// exploreCell runs one (family, n) cell. The per-run records are collected
-// concurrently and checked serially (checkers are cheap; runs are not).
+// capture is the per-execution record one cell run writes into: the fresh
+// instance, the names it was started with, the Rename return values, and
+// the (family, seed) pair a violation should be reported under.
+type capture struct {
+	r      check.Renamer
+	family string
+	seed   uint64
+	origs  []int64
+	got    []int64
+	oks    []bool
+}
+
+// genomer is implemented by strategies (CoverageGuided) whose executions are
+// still seeded family runs, just chosen adaptively: the genome names the
+// family and seed actually driving the next run, which is what a violation
+// must be attributed to for the reproducer line to replay.
+type genomer interface {
+	Genome() (string, uint64)
+}
+
+// exploreCell runs one (family, n) cell through its strategy. Instances and
+// outcome arrays are captured per execution (concurrently, when the
+// strategy's runs are independent and fanned out) and checked serially —
+// checkers are cheap; runs are not.
 func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellResult {
-	renamers := make([]check.Renamer, spec.Runs)
-	got := make([][]int64, spec.Runs)
-	oks := make([][]bool, spec.Runs)
-	origs := make([][]int64, spec.Runs)
-	results := sched.ParallelRuns(spec.Runs, func(run int) sched.RunSpec {
-		seed := spec.runSeed(fam.Name, n, run)
-		r := spec.New(n, seed)
-		renamers[run] = r
-		names := spec.origsFor(n, seed)
-		origs[run] = names
-		g := make([]int64, n)
-		o := make([]bool, n)
-		got[run], oks[run] = g, o
-		return sched.RunSpec{
-			N:      n,
-			Names:  names,
-			Policy: fam.NewPolicy(seed, n),
-			Plan:   fam.NewPlan(seed, n),
-			Body: func(p *shmem.Proc) {
-				g[p.ID()], o[p.ID()] = r.Rename(p, p.Name())
-			},
+	seeds := make([]uint64, spec.Runs)
+	for run := range seeds {
+		seeds[run] = spec.runSeed(fam.Name, n, run)
+	}
+	maker := spec.Strategy
+	if maker == nil {
+		maker = Seeded()
+	}
+	strat := maker(fam, n, seeds)
+	seeder, _ := strat.(explore.Seeder)
+	seedOf := func(run int) uint64 {
+		if seeder != nil {
+			return seeder.RunSeed(run)
 		}
-	})
-	cell := cellResult{stats: CellStats{Family: fam.Name, N: n, Runs: spec.Runs}}
+		if run < len(seeds) {
+			return seeds[run]
+		}
+		return spec.runSeed(fam.Name, n, run)
+	}
+
+	// Captures are created on first touch of a run index. Only slice access
+	// is locked: the first touch of any given run is single-threaded (one
+	// ParallelRuns worker builds one run's spec; sequential strategies are
+	// one goroutine), so instance construction itself stays parallel on the
+	// seeded fast path.
+	_, fanned := strat.(explore.Independent)
+	var mu sync.Mutex
+	caps := make([]*capture, 0, spec.Runs)
+	capOf := func(run int) *capture {
+		mu.Lock()
+		for len(caps) <= run {
+			caps = append(caps, nil)
+		}
+		c := caps[run]
+		mu.Unlock()
+		if c != nil {
+			return c
+		}
+		family, seed := fam.Name, seedOf(run)
+		if g, ok := strat.(genomer); ok {
+			family, seed = g.Genome()
+		}
+		c = &capture{
+			r:      spec.New(n, seed),
+			family: family,
+			seed:   seed,
+			origs:  spec.origsFor(n, seed),
+			got:    make([]int64, n),
+			oks:    make([]bool, n),
+		}
+		mu.Lock()
+		caps[run] = c
+		if !fanned && run > 0 {
+			// Sequential strategies advance one run at a time, and the
+			// previous run is fully processed (or abandoned — those skip
+			// OnResult) by the time the next capture is built: release it so
+			// long searches do not retain every instance ever built.
+			caps[run-1] = nil
+		}
+		mu.Unlock()
+		return c
+	}
+
+	cell := cellResult{stats: CellStats{Family: fam.Name, N: n, Strategy: strat.Name()}}
 	suite := spec.suiteFor(n, fam.Name)
 	cellSeen := make(map[uint64]struct{}, spec.Runs)
-	for i, res := range results {
-		seen[res.Fingerprint] = struct{}{}
-		cellSeen[res.Fingerprint] = struct{}{}
-		if ms := res.MaxSteps(); ms > cell.stats.MaxSteps {
-			cell.stats.MaxSteps = ms
-		}
-		run := check.NewRun(origs[i], got[i], oks[i], res, renamers[i].MaxName())
-		cell.stats.Crashes += run.Crashes()
-		// A process panic preempts the suite verdict, mirroring runOnce: the
-		// report and the shrunk reproducer must agree on the failure class.
-		var err error
-		if res.Err != nil {
-			err = fmt.Errorf("process panic: %w", res.Err)
-		} else {
-			err = suite.Check(run)
-		}
-		if err != nil {
-			cell.stats.Violating++
-			cell.violations = append(cell.violations, Violation{
-				Label:  spec.Label,
-				Family: fam.Name,
-				N:      n,
-				Seed:   spec.runSeed(fam.Name, n, i),
-				Err:    err,
-			})
-		}
-	}
+	stats := explore.Drive(strat, explore.Config{
+		N:     n,
+		Names: func(run int) []int64 { return capOf(run).origs },
+		Body: func(run int) sched.Body {
+			c := capOf(run)
+			return func(p *shmem.Proc) {
+				c.got[p.ID()], c.oks[p.ID()] = c.r.Rename(p, p.Name())
+			}
+		},
+		OnResult: func(run int, tr sched.Trace, res sched.Result) bool {
+			c := capOf(run)
+			seen[res.Fingerprint] = struct{}{}
+			cellSeen[res.Fingerprint] = struct{}{}
+			if ms := res.MaxSteps(); ms > cell.stats.MaxSteps {
+				cell.stats.MaxSteps = ms
+			}
+			record := check.NewRun(c.origs, c.got, c.oks, res, c.r.MaxName())
+			cell.stats.Crashes += record.Crashes()
+			// A process panic preempts the suite verdict, mirroring runOnce:
+			// the report and the shrunk reproducer must agree on the failure
+			// class.
+			var err error
+			if res.Err != nil {
+				err = fmt.Errorf("process panic: %w", res.Err)
+			} else {
+				err = suite.Check(record)
+			}
+			if err != nil {
+				cell.stats.Violating++
+				cell.violations = append(cell.violations, Violation{
+					Label:  spec.Label,
+					Family: c.family,
+					N:      n,
+					Seed:   c.seed,
+					Err:    err,
+					Trace:  tr,
+				})
+			}
+			// The run is checked; release its instance so long sequential
+			// campaigns do not hold every renamer ever built.
+			mu.Lock()
+			caps[run] = nil
+			mu.Unlock()
+			return true
+		},
+	})
+	cell.stats.Runs = stats.Executions
+	cell.stats.Explored = stats.Explored
+	cell.stats.Replayed = stats.Replayed
+	cell.stats.Pruned = stats.Pruned
+	cell.stats.Complete = stats.Complete
 	cell.stats.Distinct = len(cellSeen)
 	return cell
 }

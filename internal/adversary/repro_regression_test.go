@@ -1,0 +1,51 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// pastedReproducerLine is a shrunk reproducer exactly as Explore printed it
+// for the planted exclusiveness bug of brokenSpec — copied verbatim from a
+// failing run's log, the workflow the README promises. If the reproducer
+// format, the seed derivation, the family library order, or the replay
+// machinery drifts, this line stops reproducing and the test fails: the
+// contract is that old CI logs stay replayable.
+const pastedReproducerLine = "adversary:algo=broken family=random n=2 seed=0x88735a335966bbdc"
+
+// TestPastedReproducerRegression drives the paste-from-CI-log workflow end
+// to end: Parse the one-line spec, Replay it against the campaign spec, and
+// get the same class of violation back, deterministically.
+func TestPastedReproducerRegression(t *testing.T) {
+	rep, err := Parse(pastedReproducerLine)
+	if err != nil {
+		t.Fatalf("pasted line does not parse: %v", err)
+	}
+	if rep.Label != "broken" || rep.Family != "random" || rep.N != 2 {
+		t.Fatalf("pasted line parsed into the wrong spec: %+v", rep)
+	}
+
+	spec := brokenSpec()
+	verr := Replay(&spec, rep)
+	if verr == nil {
+		t.Fatalf("pasted reproducer %s no longer reproduces", pastedReproducerLine)
+	}
+	if !strings.Contains(verr.Error(), "exclusive") {
+		t.Fatalf("replayed failure is not the exclusiveness violation: %v", verr)
+	}
+
+	// Determinism: replaying twice yields the identical failure message.
+	verr2 := Replay(&spec, rep)
+	if verr2 == nil || verr2.Error() != verr.Error() {
+		t.Fatalf("replay is not deterministic: %v vs %v", verr, verr2)
+	}
+
+	// Replay refuses a label mismatch instead of silently reporting "does
+	// not reproduce" against the wrong algorithm.
+	other := Spec{Label: "fair", New: func(n int, seed uint64) check.Renamer { return newFair(n) }}
+	if err := Replay(&other, rep); err == nil || !strings.Contains(err.Error(), "label") && !strings.Contains(err.Error(), "algo") {
+		t.Fatalf("label mismatch not rejected: %v", err)
+	}
+}

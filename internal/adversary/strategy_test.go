@@ -1,0 +1,195 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/shmem"
+)
+
+// contendedRenamer is correct (slot i is owned by pid i) but funnels every
+// process through rounds of write/read on one shared register first, so
+// schedules genuinely differ: the fixture for comparing search strategies on
+// a space with many inequivalent interleavings.
+type contendedRenamer struct {
+	shared shmem.Reg
+	slots  []shmem.Reg
+	rounds int
+}
+
+func newContended(n, rounds int) *contendedRenamer {
+	return &contendedRenamer{slots: make([]shmem.Reg, n), rounds: rounds}
+}
+
+func (c *contendedRenamer) Rename(p *shmem.Proc, orig int64) (int64, bool) {
+	for r := 0; r < c.rounds; r++ {
+		p.Write(&c.shared, orig)
+		p.Read(&c.shared)
+	}
+	p.Write(&c.slots[p.ID()], orig)
+	return int64(p.ID() + 1), true
+}
+
+func (c *contendedRenamer) MaxName() int64 { return int64(len(c.slots)) }
+func (c *contendedRenamer) Registers() int { return len(c.slots) + 1 }
+
+// strategySpec is the planted-bug campaign pinned to one cell so tree
+// strategies search a single deterministic system.
+func strategySpec(maker StrategyMaker, runs int) Spec {
+	return Spec{
+		Label:    "broken",
+		New:      func(n int, seed uint64) check.Renamer { return newBroken(n) },
+		Ns:       []int{2},
+		Families: []Family{mustFamily("random")},
+		Runs:     runs,
+		Seed:     1,
+		Strategy: maker,
+	}
+}
+
+func mustFamily(name string) Family {
+	f, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TestDPORStrategyFindsPlantedBug: the DPOR search walks into the planted
+// exclusiveness violation systematically — no seed luck — and the violation
+// carries the grant schedule that produced it.
+func TestDPORStrategyFindsPlantedBug(t *testing.T) {
+	out := Explore(strategySpec(DPOR(256), 8))
+	if len(out.Violations) == 0 {
+		t.Fatalf("DPOR missed the planted bug: %d runs, %d distinct, %d explored", out.Runs, out.Distinct, out.Explored)
+	}
+	v := out.Violations[0]
+	if !strings.Contains(v.Err.Error(), "exclusive") {
+		t.Fatalf("violation is not the planted exclusiveness bug: %v", v.Err)
+	}
+	if len(v.Trace) == 0 {
+		t.Fatal("tree-strategy violation carries no schedule trace")
+	}
+	if out.Cells[0].Strategy != "dpor" {
+		t.Fatalf("cell strategy %q, want dpor", out.Cells[0].Strategy)
+	}
+}
+
+// TestSleepSetStrategyProvesFairCell: on the correct fixture the exhaustive
+// strategy completes its cell — Explore reports the cell Complete, turning a
+// sampled sweep into a per-cell proof.
+func TestSleepSetStrategyProvesFairCell(t *testing.T) {
+	out := Explore(Spec{
+		Label:    "fair",
+		New:      func(n int, seed uint64) check.Renamer { return newFair(n) },
+		Ns:       []int{3},
+		Families: []Family{mustFamily("random")},
+		Runs:     64,
+		Seed:     2,
+		Strategy: SleepSets(0, 0),
+	})
+	if len(out.Violations) != 0 {
+		t.Fatalf("clean fixture produced violations: %v", out.Violations[0])
+	}
+	cell := out.Cells[0]
+	if !cell.Complete {
+		t.Fatalf("fair n=3 cell not exhausted within %d runs: %+v", 64, cell)
+	}
+	if cell.Pruned == 0 {
+		t.Fatal("no pruning recorded on a mostly commuting fixture")
+	}
+}
+
+// TestDPORPrunesAgainstSeededBaseline is the acceptance comparison: on the
+// same contended cell, DPOR matches the seeded fingerprint coverage with
+// strictly fewer explored decisions. The comparison is coverage-matched:
+// every DPOR execution lands a fresh Mazurkiewicz trace (hence a fresh
+// fingerprint), so a DPOR budget equal to the seeded sweep's distinct count
+// reaches equal coverage, and partial-order reduction plus shared replay
+// prefixes make it pay fewer decisions for it.
+func TestDPORPrunesAgainstSeededBaseline(t *testing.T) {
+	const runs = 16
+	mk := func(maker StrategyMaker, budget int) Outcome {
+		spec := Spec{
+			Label:    "contended",
+			New:      func(n int, seed uint64) check.Renamer { return newContended(n, 3) },
+			Ns:       []int{2},
+			Families: []Family{mustFamily("random")},
+			Runs:     runs,
+			Seed:     7,
+			Strategy: maker,
+		}
+		if budget > 0 {
+			spec.Runs = budget
+		}
+		return Explore(spec)
+	}
+	seeded := mk(nil, 0)
+	dpor := mk(DPOR(seeded.Distinct), 0)
+	if len(seeded.Violations)+len(dpor.Violations) != 0 {
+		t.Fatalf("contended fixture is correct, yet violations: %v %v", seeded.Violations, dpor.Violations)
+	}
+	if dpor.Distinct < seeded.Distinct {
+		t.Fatalf("DPOR coverage %d below seeded %d", dpor.Distinct, seeded.Distinct)
+	}
+	if dpor.Explored >= seeded.Explored {
+		t.Fatalf("DPOR explored %d decisions for coverage %d, seeded %d for %d — no pruning",
+			dpor.Explored, dpor.Distinct, seeded.Explored, seeded.Distinct)
+	}
+	// Every DPOR execution is a distinct Mazurkiewicz trace, so none repeat.
+	if dpor.Distinct != dpor.Runs {
+		t.Fatalf("DPOR produced %d distinct schedules over %d runs; tree executions must not repeat", dpor.Distinct, dpor.Runs)
+	}
+}
+
+// TestCoverageGuidedStrategyExplores: the mutation strategy drives full
+// campaigns through Explore, respects the run budget, and reports genome
+// seeds in violations that the shrinker can then minimize.
+func TestCoverageGuidedStrategyExplores(t *testing.T) {
+	out := Explore(strategySpec(CoverageGuided(48), 48))
+	if out.Runs != 48 {
+		t.Fatalf("coverage-guided ran %d executions, want the 48 budget", out.Runs)
+	}
+	if out.Cells[0].Strategy != "covguided" {
+		t.Fatalf("cell strategy %q, want covguided", out.Cells[0].Strategy)
+	}
+	if len(out.Violations) == 0 {
+		t.Fatal("coverage-guided search missed the planted bug over 48 contended runs")
+	}
+	if out.Violations[0].Shrunk == nil {
+		t.Fatal("first violation was not shrunk")
+	}
+	// The shrunk reproducer goes through the seeded replay machinery
+	// regardless of which strategy found the bug.
+	if err := Replay(&Spec{Label: "broken", New: func(n int, seed uint64) check.Renamer { return newBroken(n) }}, *out.Violations[0].Shrunk); err == nil {
+		t.Fatalf("shrunk reproducer %s does not replay", *out.Violations[0].Shrunk)
+	}
+}
+
+// TestSeededStrategyMatchesDefault: passing Seeded() explicitly is
+// indistinguishable from the nil default — same runs, same coverage, same
+// fingerprints feeding the campaign total.
+func TestSeededStrategyMatchesDefault(t *testing.T) {
+	spec := func(maker StrategyMaker) Spec {
+		return Spec{
+			Label:    "fair",
+			New:      func(n int, seed uint64) check.Renamer { return newFair(n) },
+			Ns:       []int{2, 4},
+			Runs:     8,
+			Seed:     3,
+			Strategy: maker,
+		}
+	}
+	def := Explore(spec(nil))
+	exp := Explore(spec(Seeded()))
+	if def.Runs != exp.Runs || def.Distinct != exp.Distinct || def.MaxSteps != exp.MaxSteps {
+		t.Fatalf("explicit Seeded() diverges from default: %+v vs %+v", def, exp)
+	}
+	for i := range def.Cells {
+		d, e := def.Cells[i], exp.Cells[i]
+		if d.Distinct != e.Distinct || d.Runs != e.Runs || d.Crashes != e.Crashes {
+			t.Fatalf("cell %d diverges: %+v vs %+v", i, d, e)
+		}
+	}
+}

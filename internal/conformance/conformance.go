@@ -35,6 +35,35 @@ type Case struct {
 	// StepBound is the paper's closed-form per-process step bound for
 	// population n, 0 when the theorem states none for the composition.
 	StepBound func(n int) int64
+	// Proven lists the cells at which the exhaustive model checker
+	// (internal/model) proves — not samples — the full suite: every schedule,
+	// and every crash pattern up to the cell's cap, of the fixed-seed
+	// instance is covered up to commuting-grant equivalence. Sizes absent
+	// here are sampled by adversary.Explore. The split is a budget statement:
+	// the walk must exhaust within the CI model-check job's time box, and the
+	// reachable cells differ per algorithm (Efficient and Adaptive chain
+	// every stage, so their trees outgrow the box first).
+	Proven []ModelCell
+}
+
+// ModelCell is one population the model checker exhausts for a case, with
+// the crash-branching cap the proof covers (0 = crash-free schedules only;
+// n-1 = every pattern that leaves a survivor).
+type ModelCell struct {
+	N          int
+	MaxCrashes int
+}
+
+// ProvenNs lists the populations with at least one proven cell, for reports
+// that only care about the proven-versus-sampled split.
+func (c Case) ProvenNs() []int {
+	var ns []int
+	for _, cell := range c.Proven {
+		if len(ns) == 0 || ns[len(ns)-1] != cell.N {
+			ns = append(ns, cell.N)
+		}
+	}
+	return ns
 }
 
 // Names is the known original-name range [1..Names] used by the algorithms
@@ -61,6 +90,7 @@ func Cases() []Case {
 	return []Case{
 		{
 			Name:      "majority",
+			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewMajority(n, Names, core.Config{Seed: seed}) },
 			Origs:     origsFrom(Names),
 			StepBound: func(n int) int64 { return core.NewMajority(n, Names, core.Config{Seed: 1}).MaxSteps() },
@@ -77,6 +107,7 @@ func Cases() []Case {
 		},
 		{
 			Name:      "basic",
+			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewBasic(n, Names, core.Config{Seed: seed}) },
 			Origs:     origsFrom(Names),
 			StepBound: func(n int) int64 { return core.NewBasic(n, Names, core.Config{Seed: 1}).MaxSteps() },
@@ -93,6 +124,7 @@ func Cases() []Case {
 		},
 		{
 			Name:      "polylog",
+			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewPolyLog(n, PolyNames, core.Config{Seed: seed}) },
 			Origs:     origsFrom(PolyNames),
 			StepBound: func(n int) int64 { return core.NewPolyLog(n, PolyNames, core.Config{Seed: 1}).MaxSteps() },
@@ -109,6 +141,7 @@ func Cases() []Case {
 		},
 		{
 			Name:      "efficient",
+			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewEfficient(n, 0, core.Config{Seed: seed}) },
 			Origs:     origsFrom(HugeNames),
 			StepBound: noBound,
@@ -122,7 +155,8 @@ func Cases() []Case {
 			},
 		},
 		{
-			Name: "almostadaptive",
+			Name:   "almostadaptive",
+			Proven: []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}},
 			New: func(n int, seed uint64) check.Renamer {
 				return core.NewAlmostAdaptive(Names, n, core.Config{Seed: seed})
 			},
@@ -140,6 +174,7 @@ func Cases() []Case {
 		},
 		{
 			Name:      "adaptive",
+			Proven:    []ModelCell{{N: 2}},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewAdaptive(n, core.Config{Seed: seed}) },
 			Origs:     origsFrom(HugeNames),
 			StepBound: noBound,

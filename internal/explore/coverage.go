@@ -1,0 +1,146 @@
+package explore
+
+import (
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// GenomeConfig is one mutable exploration configuration: a named builder of
+// (policy, crash plan) pairs from a seed. The adversary layer wires each
+// shipped family in as one config, so a genome is exactly the (family, seed)
+// pair of the reproducer format.
+type GenomeConfig struct {
+	Name string
+	Mk   func(seed uint64) (sched.Policy, sched.CrashPlan)
+}
+
+// genome is one corpus entry: which configuration, driven by which seed.
+type genome struct {
+	cfg  int
+	seed uint64
+}
+
+// CoverageGuided is the fuzz-style strategy: it executes genomes and keeps
+// the ones whose schedules land a fingerprint never seen before, mutating
+// the corpus (bit flips on the seed, configuration hops) in preference to
+// drawing fresh random genomes. The schedule fingerprint (every grant folds
+// (pid, op, run length, crash) into a hash) is the coverage signal — the
+// same signal Explore reports as "distinct schedules" — so the search climbs
+// toward interleavings the seeded sweep has not produced.
+type CoverageGuided struct {
+	cfgs   []GenomeConfig
+	budget int
+	rng    *xrand.Rand
+	seen   map[uint64]struct{}
+	corpus []genome
+	cur    genome
+
+	run     int
+	started bool
+	policy  sched.Policy
+	plan    sched.CrashPlan
+	pendBuf []int
+	stats   Stats
+	novel   int
+}
+
+// NewCoverageGuided builds the strategy over the given configurations.
+// budget caps total executions (it must be positive: an open-ended mutation
+// loop never declares itself done). All randomness derives from seed, so a
+// campaign is replayable.
+func NewCoverageGuided(seed uint64, budget int, cfgs []GenomeConfig) *CoverageGuided {
+	if len(cfgs) == 0 {
+		panic("explore: CoverageGuided needs at least one configuration")
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	cg := &CoverageGuided{
+		cfgs:   cfgs,
+		budget: budget,
+		rng:    xrand.New(xrand.Mix(seed, 0xc09e1a9e)),
+		seen:   make(map[uint64]struct{}),
+	}
+	cg.cur = genome{cfg: cg.rng.Intn(len(cfgs)), seed: cg.rng.Uint64()}
+	return cg
+}
+
+// Name implements Strategy.
+func (cg *CoverageGuided) Name() string { return "covguided" }
+
+// RunSeed implements Seeder: the genome's seed determinizes the instance as
+// well as the schedule, mirroring the seeded reproducer semantics.
+func (cg *CoverageGuided) RunSeed(run int) uint64 { return cg.cur.seed }
+
+// Genome describes the configuration driving the next execution (for
+// reporting a violation as a (config name, seed) pair).
+func (cg *CoverageGuided) Genome() (string, uint64) {
+	return cg.cfgs[cg.cur.cfg].Name, cg.cur.seed
+}
+
+// Novel reports how many executions produced a fingerprint not seen before.
+func (cg *CoverageGuided) Novel() int { return cg.novel }
+
+// Next implements Strategy: drive the current genome's policy and plan, with
+// the same decision shape as a seeded run.
+func (cg *CoverageGuided) Next(c *sched.Controller) Choice {
+	if !cg.started {
+		cg.policy, cg.plan = cg.cfgs[cg.cur.cfg].Mk(cg.cur.seed)
+		cg.started = true
+	}
+	var pid int
+	if ip, ok := cg.policy.(sched.IterPolicy); ok {
+		pid = ip.NextIter(c)
+	} else {
+		if cap(cg.pendBuf) < c.N() {
+			cg.pendBuf = make([]int, 0, c.N())
+		}
+		pid = cg.policy.Next(c, c.PendingInto(cg.pendBuf))
+	}
+	cg.stats.Explored++
+	if cg.plan != nil && cg.plan.ShouldCrash(pid, c.Proc(pid).Steps(), c.Intent(pid)) {
+		return Choice{Pid: pid, Crash: true}
+	}
+	return Choice{Pid: pid}
+}
+
+// Backtrack implements Strategy: bank the genome if its schedule was novel,
+// then mutate the corpus (or draw fresh) for the next execution.
+func (cg *CoverageGuided) Backtrack(t sched.Trace, res sched.Result) bool {
+	cg.stats.Executions++
+	cg.started = false
+	cg.policy, cg.plan = nil, nil
+	if _, dup := cg.seen[res.Fingerprint]; !dup {
+		cg.seen[res.Fingerprint] = struct{}{}
+		cg.corpus = append(cg.corpus, cg.cur)
+		cg.novel++
+	}
+	if cg.stats.Executions >= cg.budget {
+		return false
+	}
+	cg.run++
+	if len(cg.corpus) == 0 || cg.rng.Intn(4) == 0 {
+		// Exploration draw: a fresh random genome keeps the corpus from
+		// fixating on one basin of the schedule space.
+		cg.cur = genome{cfg: cg.rng.Intn(len(cg.cfgs)), seed: cg.rng.Uint64()}
+		return true
+	}
+	base := cg.corpus[cg.rng.Intn(len(cg.corpus))]
+	switch cg.rng.Intn(4) {
+	case 0:
+		// Hop configurations, keep the seed: the same schedule skeleton under
+		// a different adversary shape.
+		base.cfg = cg.rng.Intn(len(cg.cfgs))
+	case 1:
+		// Coarse jump: rehash the seed.
+		base.seed = xrand.Mix(base.seed, cg.rng.Uint64())
+	default:
+		// Fine mutation: flip one seed bit, the classic fuzzing step.
+		base.seed ^= 1 << uint(cg.rng.Intn(64))
+	}
+	cg.cur = base
+	return true
+}
+
+// Stats implements Strategy.
+func (cg *CoverageGuided) Stats() Stats { return cg.stats }

@@ -1,0 +1,305 @@
+package explore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// Tree is the stateless depth-first search over the schedule(-and-crash)
+// tree shared by the DPOR and SleepSet strategies. Each execution replays
+// the recorded choice prefix on a fresh instance (stateless model checking:
+// nothing but the choice stack is retained between executions), then extends
+// it to a maximal schedule; Backtrack truncates to the deepest node with an
+// unexplored scheduled choice.
+//
+// Per node the engine keeps a sleep set (Godefroid): after a subtree rooted
+// at transition t is fully explored, t goes to sleep for the node's remaining
+// branches and stays asleep down any branch whose transitions are all
+// independent of it — an execution that would merely reorder t past
+// commuting grants is recognized as redundant and pruned. In DPOR mode the
+// scheduled set per node is not all enabled transitions but a backtrack set
+// grown by race analysis over completed traces (Flanagan & Godefroid):
+// whenever two events of different processes conflict on a register, the
+// earlier event's node is scheduled to also try the later event's process.
+// Every pair of dependent events contributes a backtrack point (a sound
+// over-approximation of the last-racer rule), so at least one representative
+// per Mazurkiewicz trace is executed and final-state invariants checked on
+// the explored executions hold for every schedule.
+//
+// Tree strategies search the schedules of a single deterministic system, so
+// they pin every execution to one instance seed (RunSeed).
+type Tree struct {
+	name       string
+	dpor       bool // backtrack sets from race analysis; false = full enabled sets
+	maxCrashes int  // crash-branching cap per execution; 0 = schedule-only
+	budget     int  // executions (complete + partial) cap; 0 = exhaust the tree
+	seed       uint64
+
+	stack     []frame
+	pos       int // replay cursor: next stack index to re-apply
+	abandoned bool
+	done      bool
+	stats     Stats
+}
+
+// frame is one node of the current branch: the state after replaying the
+// choices of all shallower frames.
+type frame struct {
+	chosen        Choice       // transition executed from this node on the current branch
+	chosenIn      shmem.Intent // its posted op, refreshed each execution (registers are per-instance)
+	enabled       uint64       // pending mask at node entry
+	doneStep      uint64       // step choices explored or sleep-pruned
+	doneCrash     uint64       // crash choices explored or sleep-pruned
+	btStep        uint64       // step choices scheduled for exploration
+	btCrash       uint64       // crash choices scheduled for exploration
+	sleep         []sleepEntry // sleep set at node entry
+	crashesBefore int
+}
+
+// sleepEntry is one sleeping transition. Its process is necessarily still
+// pending wherever the entry is alive (a sleeping process never steps, and a
+// dependent grant would have evicted the entry), so the posted intent can be
+// refreshed from the live controller on every replay.
+type sleepEntry struct {
+	pid   int
+	crash bool
+	in    shmem.Intent
+}
+
+// NewDPOR returns the dynamic partial-order reduction strategy: backtrack
+// sets over the intent graph plus sleep sets, schedule-only (crash patterns
+// are the seeded families' and the model checker's job). budget caps the
+// number of executions; 0 runs until the reduced tree is exhausted, at which
+// point Stats().Complete reports the proof. seed pins the instance.
+func NewDPOR(seed uint64, budget int) *Tree {
+	return &Tree{name: "dpor", dpor: true, budget: budget, seed: seed}
+}
+
+// NewSleepSet returns the exhaustive DFS with sleep-set pruning over the
+// full schedule-and-crash tree: every enabled grant, and — while fewer than
+// maxCrashes crashes have been injected — every crash, is scheduled at every
+// node. Unbudgeted (budget 0) it exhausts the tree, which is how
+// internal/model proves invariant suites at tiny populations.
+func NewSleepSet(seed uint64, budget, maxCrashes int) *Tree {
+	return &Tree{name: "sleepset", budget: budget, maxCrashes: maxCrashes, seed: seed}
+}
+
+// Name implements Strategy.
+func (t *Tree) Name() string { return t.name }
+
+// RunSeed implements Seeder: tree searches explore the schedules of one
+// deterministic system, so every execution rebuilds from the same seed.
+func (t *Tree) RunSeed(run int) uint64 { return t.seed }
+
+// Stats implements Strategy.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Next implements Strategy: replay the committed prefix, then extend the
+// branch one frontier node at a time.
+func (t *Tree) Next(c *sched.Controller) Choice {
+	if t.pos < len(t.stack) {
+		f := &t.stack[t.pos]
+		if c.NextPending(f.chosen.Pid-1) != f.chosen.Pid {
+			panic(fmt.Sprintf("explore: replay diverged at depth %d: process %d not pending (non-deterministic body?)", t.pos, f.chosen.Pid))
+		}
+		// Refresh the intents captured in this frame: register identities are
+		// owned by the per-execution instance, so independence checks must
+		// always compare this execution's pointers.
+		f.chosenIn = c.Intent(f.chosen.Pid)
+		for i := range f.sleep {
+			f.sleep[i].in = c.Intent(f.sleep[i].pid)
+		}
+		t.pos++
+		// The final committed frame always carries the choice Backtrack just
+		// picked — a new decision; everything before it is reconstruction.
+		if t.pos == len(t.stack) {
+			t.stats.Explored++
+		} else {
+			t.stats.Replayed++
+		}
+		return f.chosen
+	}
+	f := frame{enabled: enabledMask(c)}
+	if t.pos > 0 {
+		parent := &t.stack[t.pos-1]
+		f.crashesBefore = parent.crashesBefore
+		if parent.chosen.Crash {
+			f.crashesBefore++
+		}
+		f.sleep = childSleep(c, parent)
+	}
+	// Sleeping transitions are pre-marked done: exploring one would re-derive
+	// a schedule already covered under an earlier sibling.
+	for _, e := range f.sleep {
+		bit := uint64(1) << uint(e.pid)
+		if f.enabled&bit == 0 {
+			continue
+		}
+		if e.crash {
+			if f.doneCrash&bit == 0 {
+				f.doneCrash |= bit
+				t.stats.Pruned++
+			}
+		} else if f.doneStep&bit == 0 {
+			f.doneStep |= bit
+			t.stats.Pruned++
+		}
+	}
+	if t.dpor {
+		// The backtrack set starts with one arbitrary (lowest awake) enabled
+		// process; race analysis grows it as conflicts surface.
+		if first := f.enabled &^ f.doneStep; first != 0 {
+			f.btStep = first & (-first)
+		}
+	} else {
+		f.btStep = f.enabled
+		if t.maxCrashes > 0 && f.crashesBefore < t.maxCrashes {
+			f.btCrash = f.enabled
+		}
+	}
+	if !t.pick(&f) {
+		// Every scheduled transition is asleep: this whole subtree reorders
+		// commuting grants of executions explored elsewhere.
+		t.abandoned = true
+		return Abandon
+	}
+	// Capture the chosen transition's posted op now: childSleep of the next
+	// frontier node needs it, and replay only refreshes committed frames.
+	f.chosenIn = c.Intent(f.chosen.Pid)
+	t.stack = append(t.stack, f)
+	t.pos++
+	t.stats.Explored++
+	return t.stack[len(t.stack)-1].chosen
+}
+
+// pick selects the next unexplored scheduled transition of f (steps before
+// crashes, ascending pid), marks it done, and installs it as f.chosen.
+func (t *Tree) pick(f *frame) bool {
+	if avail := f.btStep &^ f.doneStep; avail != 0 {
+		pid := bits.TrailingZeros64(avail)
+		f.doneStep |= 1 << uint(pid)
+		f.chosen = Choice{Pid: pid}
+		return true
+	}
+	if avail := f.btCrash &^ f.doneCrash; avail != 0 {
+		pid := bits.TrailingZeros64(avail)
+		f.doneCrash |= 1 << uint(pid)
+		f.chosen = Choice{Pid: pid, Crash: true}
+		return true
+	}
+	return false
+}
+
+// childSleep derives the sleep set of the node reached by parent.chosen:
+// inherited entries that are independent of the chosen transition, plus the
+// parent's previously explored (or pruned) siblings, filtered the same way.
+// All surviving entries belong to processes other than the chosen one, so
+// their posted intents are live on the controller.
+func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
+	ch, chIn := parent.chosen, parent.chosenIn
+	var out []sleepEntry
+	seen := struct{ step, crash uint64 }{}
+	add := func(e sleepEntry) {
+		bit := uint64(1) << uint(e.pid)
+		if e.crash {
+			if seen.crash&bit != 0 {
+				return
+			}
+			seen.crash |= bit
+		} else {
+			if seen.step&bit != 0 {
+				return
+			}
+			seen.step |= bit
+		}
+		out = append(out, e)
+	}
+	for _, e := range parent.sleep {
+		if independent(e.pid, e.crash, e.in, ch.Pid, ch.Crash, chIn) {
+			add(e)
+		}
+	}
+	for m := parent.doneStep; m != 0; m &= m - 1 {
+		pid := bits.TrailingZeros64(m)
+		if pid == ch.Pid {
+			continue // the chosen transition itself, or its same-pid sibling
+		}
+		in := c.Intent(pid)
+		if independent(pid, false, in, ch.Pid, ch.Crash, chIn) {
+			add(sleepEntry{pid: pid, in: in})
+		}
+	}
+	for m := parent.doneCrash; m != 0; m &= m - 1 {
+		pid := bits.TrailingZeros64(m)
+		if pid == ch.Pid {
+			continue
+		}
+		// A crash touches no register: independent of any other-pid choice.
+		add(sleepEntry{pid: pid, crash: true})
+	}
+	return out
+}
+
+// Backtrack implements Strategy: fold the finished execution into the search
+// state (race analysis in DPOR mode), then truncate to the deepest node with
+// an unexplored scheduled transition and commit its next choice.
+func (t *Tree) Backtrack(tr sched.Trace, res sched.Result) bool {
+	if t.abandoned {
+		t.abandoned = false
+		t.stats.Partial++
+	} else {
+		t.stats.Executions++
+	}
+	if t.dpor {
+		t.race(tr)
+	}
+	if t.budget > 0 && t.stats.Executions+t.stats.Partial >= t.budget {
+		return false
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		f := &t.stack[i]
+		if (f.btStep&^f.doneStep)|(f.btCrash&^f.doneCrash) == 0 {
+			continue
+		}
+		t.stack = t.stack[:i+1]
+		t.pick(f)
+		// The committed choice executes as the last prefix event of the next
+		// execution, where Next counts it as a new decision.
+		t.pos = 0
+		return true
+	}
+	t.done = true
+	t.stats.Complete = true
+	return false
+}
+
+// race grows backtrack sets from the executed trace: for every pair of
+// dependent events of different processes, the earlier event's node is
+// scheduled to also run the later process (if it was enabled there — its
+// first pending op leads toward the race) or, failing that, every process
+// enabled there. Scheduling a point for *every* dependent pair, not just
+// each event's last racer, over-approximates classic DPOR: possibly more
+// executions, never a missed trace.
+func (t *Tree) race(tr sched.Trace) {
+	n := len(tr)
+	if n > len(t.stack) {
+		n = len(t.stack)
+	}
+	for j := 1; j < n; j++ {
+		ej := tr[j]
+		for i := j - 1; i >= 0; i-- {
+			if tr[i].Pid == ej.Pid || tr[i].Commutes(ej) {
+				continue
+			}
+			f := &t.stack[i]
+			if bit := uint64(1) << uint(ej.Pid); f.enabled&bit != 0 {
+				f.btStep |= bit
+			} else {
+				f.btStep |= f.enabled
+			}
+		}
+	}
+}

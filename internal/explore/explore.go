@@ -1,0 +1,250 @@
+// Package explore makes schedule-search strategy a first-class, pluggable
+// layer between the lockstep scheduler (internal/sched) and the campaign
+// drivers (internal/adversary, internal/model). A Strategy decides, at every
+// decision point of an in-flight execution, which pending process to grant
+// (or crash), and — when the execution completes — consumes its recorded
+// Trace to steer the next one. Four strategies ship:
+//
+//   - Seeded: wraps a (policy, crash plan) factory per run seed — the
+//     pre-existing blind-seeding behavior, bit-for-bit, and embarrassingly
+//     parallel (Drive fans it across sched.ParallelRuns).
+//   - DPOR: dynamic partial-order reduction (Flanagan & Godefroid) with
+//     backtrack sets computed from races over the intent graph, plus sleep
+//     sets. Explores at least one representative per Mazurkiewicz trace, so
+//     final-state invariants checked on its executions are checked on all.
+//   - SleepSet: the exhaustive DFS over the full schedule-and-crash tree with
+//     sleep-set pruning of commuting grants. Unbudgeted it exhausts the tree
+//     — the engine internal/model proves tiny populations with.
+//   - CoverageGuided: fuzz-style mutation of (configuration, seed) pairs,
+//     keeping the genomes that produce novel schedule fingerprints.
+//
+// The package knows nothing about renaming: independence between grants
+// comes entirely from the Intent metadata the scheduler exposes (distinct
+// registers commute, read/read commutes), so any algorithm driven through
+// sched gets every strategy for free.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// Choice is one scheduling decision: grant pid a run of K steps (K < 1 means
+// one), or crash it before its posted operation executes. A negative Pid
+// abandons the in-flight execution — the strategy has recognized the prefix
+// as redundant (sleep-blocked) and wants to backtrack without finishing it.
+type Choice struct {
+	Pid   int
+	K     int
+	Crash bool
+}
+
+// Abandon is the Choice a strategy returns to cut off a redundant execution.
+var Abandon = Choice{Pid: -1}
+
+// Stats accounts for a strategy's search effort.
+type Stats struct {
+	// Executions is the number of completed executions driven.
+	Executions int
+	// Partial counts executions abandoned mid-flight (sleep-blocked prefixes).
+	Partial int
+	// Explored counts distinct scheduling decisions executed — the "states
+	// visited" of the search. Stateless tree strategies re-execute committed
+	// prefixes to reconstruct state; those grants revisit states rather than
+	// explore new ones and are counted in Replayed, not here.
+	Explored int
+	// Replayed counts prefix grants re-executed during state reconstruction
+	// (tree strategies only) — the bookkeeping cost of statelessness. Total
+	// grants performed = Explored + Replayed.
+	Replayed int
+	// Pruned counts enabled choices the strategy skipped because partial-order
+	// reasoning (sleep sets, backtrack sets) showed them redundant.
+	Pruned int
+	// Complete reports that the strategy exhausted its search space: every
+	// schedule (modulo commuting-grant equivalence) has been covered. Only
+	// the tree strategies can set it; budget exhaustion leaves it false.
+	Complete bool
+}
+
+// Strategy is the pluggable search layer. Drive calls Next at every decision
+// point of the in-flight execution and Backtrack when it ends (completed or
+// abandoned); Backtrack returns false when the strategy wants no further
+// executions. A Strategy instance drives one sequential search and is not
+// safe for concurrent use; strategies whose executions are independent
+// additionally implement Independent and get fanned across workers.
+type Strategy interface {
+	// Name labels the strategy in reports and bench output.
+	Name() string
+	// Next picks the decision at the current point: the controller exposes
+	// the pending set, each pending process's posted Intent, and the
+	// commutation metadata (IntentsCommute) — exactly the paper's adversary
+	// view plus the independence structure search needs.
+	Next(c *sched.Controller) Choice
+	// Backtrack consumes a finished execution's trace and result, updating
+	// the search frontier. It returns true while more executions are wanted.
+	Backtrack(t sched.Trace, res sched.Result) bool
+	// Stats reports the search effort so far.
+	Stats() Stats
+}
+
+// Independent is implemented by strategies whose executions are pure
+// functions of their run index (no cross-execution steering): Drive then
+// fans them across sched.ParallelRuns instead of running sequentially.
+type Independent interface {
+	// Runs is the total number of executions the strategy wants.
+	Runs() int
+	// PolicyPlan builds run's scheduling policy and crash plan. It must be
+	// safe to call concurrently.
+	PolicyPlan(run int) (sched.Policy, sched.CrashPlan)
+}
+
+// Seeder is implemented by strategies that dictate the instance seed of each
+// execution. Tree searches (DPOR, SleepSet) pin every execution to one seed —
+// the search is over schedules of a single deterministic system — while
+// CoverageGuided picks the seed of the genome it is mutating. Drivers that
+// build a fresh algorithm instance per execution must consult it.
+type Seeder interface {
+	// RunSeed returns the instance seed for execution run. For sequential
+	// strategies it is only valid for the next execution to start.
+	RunSeed(run int) uint64
+}
+
+// Config describes the system a strategy searches over.
+type Config struct {
+	// N is the population size.
+	N int
+	// Names supplies run's original names (nil assigns pids 1..n).
+	Names func(run int) []int64
+	// Body builds a fresh, deterministic body for execution run. Tree
+	// strategies re-execute the same system many times, so Body must return
+	// an equivalent fresh instance every call for a fixed run seed.
+	Body func(run int) sched.Body
+	// MaxExecutions hard-caps the number of executions regardless of the
+	// strategy's own budget; 0 means the strategy decides.
+	MaxExecutions int
+	// OnResult observes each *completed* execution (abandoned ones are
+	// skipped): its run index, recorded trace, and result. Returning false
+	// stops the drive — how invariant checkers abort on first violation.
+	OnResult func(run int, t sched.Trace, res sched.Result) bool
+}
+
+func (cfg *Config) names(run int) []int64 {
+	if cfg.Names != nil {
+		return cfg.Names(run)
+	}
+	return nil
+}
+
+// Drive runs the strategy's executions over fresh instances from cfg.Body
+// until the strategy declines more, the execution cap is hit, or OnResult
+// stops it. Strategies implementing Independent are fanned across workers
+// via sched.ParallelRuns (their traces are not recorded — nothing consumes
+// them); all others run sequentially with tracing enabled.
+func Drive(s Strategy, cfg Config) Stats {
+	if ind, ok := s.(Independent); ok {
+		return driveParallel(s, ind, cfg)
+	}
+	run := 0
+	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
+		c := sched.NewController(cfg.N, cfg.names(run), cfg.Body(run))
+		c.EnableTrace()
+		abandoned := false
+		for c.PendingCount() > 0 {
+			ch := s.Next(c)
+			if ch.Pid < 0 {
+				abandoned = true
+				break
+			}
+			switch {
+			case ch.Crash:
+				c.Crash(ch.Pid)
+			case ch.K > 1:
+				c.StepN(ch.Pid, ch.K)
+			default:
+				c.Step(ch.Pid)
+			}
+		}
+		if abandoned {
+			c.Abort()
+		}
+		t, res := c.Trace(), c.Result()
+		// Observe before Backtrack mutates the strategy's cursor: checkers
+		// may read per-run state (the coverage-guided genome) that the next
+		// run replaces.
+		if !abandoned && cfg.OnResult != nil && !cfg.OnResult(run, t, res) {
+			break
+		}
+		run++
+		if !s.Backtrack(t, res) {
+			break
+		}
+	}
+	return s.Stats()
+}
+
+// driveParallel is the Independent fast path: the exact fan-out shape the
+// seeded explorer has always used, preserved so the default strategy changes
+// nothing about existing campaigns (schedules, fingerprints, parallelism).
+func driveParallel(s Strategy, ind Independent, cfg Config) Stats {
+	m := ind.Runs()
+	if cfg.MaxExecutions > 0 && m > cfg.MaxExecutions {
+		m = cfg.MaxExecutions
+	}
+	results := sched.ParallelRuns(m, func(run int) sched.RunSpec {
+		policy, plan := ind.PolicyPlan(run)
+		return sched.RunSpec{
+			N:      cfg.N,
+			Names:  cfg.names(run),
+			Policy: policy,
+			Plan:   plan,
+			Body:   cfg.Body(run),
+		}
+	})
+	executions := 0
+	for run, res := range results {
+		executions++
+		if cfg.OnResult != nil && !cfg.OnResult(run, nil, res) {
+			break
+		}
+	}
+	st := s.Stats()
+	st.Executions += executions
+	for _, res := range results[:executions] {
+		st.Explored += int(res.TotalSteps())
+		for _, crashed := range res.Crashed {
+			if crashed {
+				st.Explored++ // a crash grant is a decision too
+			}
+		}
+	}
+	return st
+}
+
+// independent reports whether two transitions — (pid, crash?, posted op) —
+// commute. Same-process transitions never do (program order); a crash
+// commutes with anything of another process.
+func independent(p int, pCrash bool, pIn shmem.Intent, q int, qCrash bool, qIn shmem.Intent) bool {
+	if p == q {
+		return false
+	}
+	if pCrash || qCrash {
+		return true
+	}
+	return pIn.Commutes(qIn)
+}
+
+// enabledMask collects the pending set as a bitmask. Tree strategies are
+// built for tiny populations; 64 pids is far beyond what an exhaustive or
+// DPOR search can sweep anyway.
+func enabledMask(c *sched.Controller) uint64 {
+	if c.N() > 64 {
+		panic(fmt.Sprintf("explore: tree strategies support at most 64 processes, got %d", c.N()))
+	}
+	var m uint64
+	for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+		m |= 1 << uint(pid)
+	}
+	return m
+}

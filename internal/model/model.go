@@ -1,0 +1,134 @@
+// Package model is the exhaustive small-n model checker: for tiny
+// populations it walks the *complete* schedule-and-crash tree of an
+// algorithm under sleep-set pruning (explore.NewSleepSet, unbudgeted) and
+// checks every complete execution against the algorithm's invariant suite.
+// A run that finishes with Complete=true is a proof, not a sample: every
+// schedule the paper's asynchronous adversary can produce, and every crash
+// pattern up to the configured cap, has been covered up to reordering of
+// commuting grants — which the invariants (functions of the final state)
+// cannot distinguish anyway.
+//
+// This is the ROADMAP's "prove, don't sample" item: Explore samples the
+// adversary's space at every size, the model checker closes it at n <= 3,
+// and internal/conformance records per algorithm which sizes are proven
+// versus sampled.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// Options tunes a model-checking run.
+type Options struct {
+	// MaxCrashes caps crash branching: at every decision point with fewer
+	// injected crashes, crashing each pending process is explored as its own
+	// branch. 0 walks the crash-free schedule tree only; n-1 covers every
+	// pattern that leaves a survivor. Crashing all n is legal in the paper's
+	// model but proves nothing extra about final states (the suite's
+	// liveness checkers gate on survivors), so n-1 is the customary cap.
+	MaxCrashes int
+	// Budget caps executions (complete + pruned prefixes); 0 exhausts the
+	// tree. A budgeted run that stops early reports Complete=false — it
+	// degrades to a systematic sample, never to a false proof.
+	Budget int
+}
+
+// Report is the outcome of one model-checking run.
+type Report struct {
+	Label      string
+	N          int
+	Executions int  // complete executions checked
+	Partial    int  // redundant prefixes cut by sleep sets
+	Explored   int  // scheduling decisions executed
+	Pruned     int  // enabled choices skipped as commuting-equivalent
+	Complete   bool // the full tree was exhausted: the suite is proven at this n
+	Elapsed    time.Duration
+	// Violation is the first invariant failure, with the schedule that
+	// produced it; nil for a clean run.
+	Violation *Violation
+}
+
+// Violation is an invariant failure found by the checker, carrying the full
+// grant schedule as its reproducer.
+type Violation struct {
+	Err   error
+	Trace sched.Trace
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%v\n  schedule: %s", v.Err, v.Trace)
+}
+
+// Proven reports whether the run constitutes a proof: the tree was exhausted
+// and no execution violated the suite.
+func (r *Report) Proven() bool { return r.Complete && r.Violation == nil }
+
+// Summary renders a one-line account of the run.
+func (r *Report) Summary() string {
+	verdict := "SAMPLED (budget exhausted)"
+	if r.Violation != nil {
+		verdict = "VIOLATED"
+	} else if r.Complete {
+		verdict = "PROVEN"
+	}
+	return fmt.Sprintf("%s n=%d: %s — %d executions, %d pruned prefixes, %d decisions (%d pruned) in %v",
+		r.Label, r.N, verdict, r.Executions, r.Partial, r.Explored, r.Pruned, r.Elapsed.Round(time.Millisecond))
+}
+
+// Check walks the complete schedule-and-crash tree of the renamer built by
+// new (which must return an equivalent fresh deterministic instance on every
+// call) for n contenders holding origs (nil assigns 1..n), checking every
+// complete execution against suite. It stops at the first violation.
+func Check(label string, new func() check.Renamer, n int, origs []int64, suite check.Suite, opt Options) Report {
+	if origs == nil {
+		origs = make([]int64, n)
+		for i := range origs {
+			origs[i] = int64(i + 1)
+		}
+	}
+	rep := Report{Label: label, N: n}
+	start := time.Now()
+	strat := explore.NewSleepSet(1, opt.Budget, opt.MaxCrashes)
+	got := make([]int64, n)
+	oks := make([]bool, n)
+	var renamer check.Renamer
+	stats := explore.Drive(strat, explore.Config{
+		N:     n,
+		Names: func(run int) []int64 { return origs },
+		Body: func(run int) sched.Body {
+			renamer = new()
+			for i := range got {
+				got[i], oks[i] = 0, false
+			}
+			return func(p *shmem.Proc) {
+				got[p.ID()], oks[p.ID()] = renamer.Rename(p, p.Name())
+			}
+		},
+		OnResult: func(run int, t sched.Trace, res sched.Result) bool {
+			var err error
+			if res.Err != nil {
+				err = fmt.Errorf("process panic: %w", res.Err)
+			} else {
+				err = suite.Check(check.NewRun(origs, got, oks, res, renamer.MaxName()))
+			}
+			if err != nil {
+				rep.Violation = &Violation{Err: err, Trace: t}
+				return false
+			}
+			return true
+		},
+	})
+	rep.Executions = stats.Executions
+	rep.Partial = stats.Partial
+	rep.Explored = stats.Explored
+	rep.Pruned = stats.Pruned
+	rep.Complete = stats.Complete && rep.Violation == nil
+	rep.Elapsed = time.Since(start)
+	return rep
+}

@@ -117,6 +117,9 @@ type Controller struct {
 
 	pendBuf []int  // reused by Run for PendingInto
 	fp      uint64 // incremental schedule fingerprint (see Fingerprint)
+
+	tracing  bool         // record grants into traceBuf (see EnableTrace)
+	traceBuf []TraceEvent // the recorded grant sequence
 }
 
 // gate adapts the Controller to shmem.Gate for one process.
@@ -390,6 +393,10 @@ func (c *Controller) grant(pid, k int, crash bool) {
 		ev |= 1
 	}
 	c.fp = xrand.Mix(xrand.Mix(c.fp+1, uint64(pid)), ev)
+	if c.tracing {
+		in := c.intent[pid]
+		c.traceBuf = append(c.traceBuf, TraceEvent{Pid: pid, Op: in.Kind, Reg: in.Reg, K: k, Crash: crash})
+	}
 	c.mu.Lock()
 	c.phase[pid] = phaseRunning
 	c.pbits[uint(pid)>>6] &^= 1 << (uint(pid) & 63)

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+)
+
+// TraceEvent records one scheduler decision: which process was granted (or
+// crashed), the operation it had posted at that moment, and the run length of
+// the grant. A Trace is the complete adversary transcript of an execution —
+// for a fixed deterministic body it reconstructs the execution exactly, which
+// is what search strategies (DPOR, sleep sets, the exhaustive model checker)
+// replay prefixes of.
+type TraceEvent struct {
+	Pid   int
+	Op    shmem.OpKind // the posted operation kind at grant time
+	Reg   any          // the posted operation's register identity
+	K     int          // run length granted (1 for Step, k for StepN)
+	Crash bool         // the grant was a crash: the posted op never executed
+}
+
+// Intent returns the posted operation the event granted (or crashed).
+func (e TraceEvent) Intent() shmem.Intent { return shmem.Intent{Kind: e.Op, Reg: e.Reg} }
+
+// Commutes reports whether two trace events are independent: swapping their
+// order in a schedule yields an equivalent execution. Events of the same
+// process never commute (program order); a crash commutes with any event of
+// another process (it touches no register); otherwise the posted operations
+// must commute (distinct registers, or read/read on the same register).
+func (e TraceEvent) Commutes(f TraceEvent) bool {
+	if e.Pid == f.Pid {
+		return false
+	}
+	if e.Crash || f.Crash {
+		return true
+	}
+	return e.Intent().Commutes(f.Intent())
+}
+
+// String renders the event for diagnostics and shrunk-schedule dumps.
+func (e TraceEvent) String() string {
+	if e.Crash {
+		return fmt.Sprintf("crash(%d@%s)", e.Pid, e.Op)
+	}
+	if e.K > 1 {
+		return fmt.Sprintf("step(%d@%s x%d)", e.Pid, e.Op, e.K)
+	}
+	return fmt.Sprintf("step(%d@%s)", e.Pid, e.Op)
+}
+
+// Trace is the grant sequence of one driven execution, in decision order.
+type Trace []TraceEvent
+
+// String renders the whole schedule on one line.
+func (t Trace) String() string {
+	s := ""
+	for i, e := range t {
+		if i > 0 {
+			s += " "
+		}
+		s += e.String()
+	}
+	return s
+}
+
+// EnableTrace turns on grant recording: every subsequent Step/StepN/Crash
+// appends a TraceEvent, retrievable via Trace. Any previously recorded events
+// are discarded. Recording costs an amortized slice append per grant, so the
+// zero-allocation benchmarks leave it off; search strategies always enable
+// it.
+func (c *Controller) EnableTrace() {
+	c.tracing = true
+	c.traceBuf = c.traceBuf[:0]
+}
+
+// Trace returns a copy of the grant sequence recorded since EnableTrace.
+func (c *Controller) Trace() Trace {
+	return append(Trace(nil), c.traceBuf...)
+}
+
+// ApplyTrace re-applies a recorded grant sequence to a freshly constructed
+// controller, reconstructing the execution state at the end of the prefix.
+// The bodies must be deterministic (every algorithm in this repository is,
+// given its seed): each event's process must be pending with the recorded
+// operation kind posted, otherwise the replay has diverged and an error is
+// returned with the controller left mid-execution (callers should Abort it).
+// Register identities are per-instance and deliberately not compared.
+func (c *Controller) ApplyTrace(prefix Trace) error {
+	for i, ev := range prefix {
+		if ev.Pid < 0 || ev.Pid >= c.n || c.phase[ev.Pid] != phasePending {
+			return fmt.Errorf("sched: trace event %d (%s) grants a non-pending process", i, ev)
+		}
+		if got := c.intent[ev.Pid].Kind; got != ev.Op {
+			return fmt.Errorf("sched: replay diverged at event %d: process %d posted %s, trace recorded %s (non-deterministic body?)", i, ev.Pid, got, ev.Op)
+		}
+		switch {
+		case ev.Crash:
+			c.Crash(ev.Pid)
+		case ev.K > 1:
+			c.StepN(ev.Pid, ev.K)
+		default:
+			c.Step(ev.Pid)
+		}
+	}
+	return nil
+}
+
+// ReplayTrace constructs a controller over body and re-applies the grant
+// prefix, returning the controller positioned at the first decision point
+// after it. It is the reconstruction primitive of stateless search: a
+// strategy that recorded a trace can rebuild the state at any prefix and
+// explore a different continuation. On divergence the partially driven
+// controller is aborted and an error returned.
+func ReplayTrace(n int, names []int64, body Body, prefix Trace) (*Controller, error) {
+	c := NewController(n, names, body)
+	c.EnableTrace()
+	if err := c.ApplyTrace(prefix); err != nil {
+		c.Abort()
+		return nil, err
+	}
+	return c, nil
+}
+
+// IntentsCommute reports whether the posted operations of two pending
+// processes commute (see shmem.Intent.Commutes). It is the intent-graph edge
+// predicate search strategies use to compute backtrack and sleep sets without
+// knowing anything about the algorithm under test.
+func (c *Controller) IntentsCommute(p, q int) bool {
+	return c.Intent(p).Commutes(c.Intent(q))
+}
+
+// Result snapshots the execution summary at the current decision point. For
+// a finished execution it equals what Run would have returned; search
+// strategies that drive the controller grant by grant use it to close out an
+// execution.
+func (c *Controller) Result() Result { return c.result() }

@@ -34,6 +34,16 @@ type Intent struct {
 	Reg  any
 }
 
+// Commutes reports whether the two posted operations commute: executing them
+// in either order yields the same memory state and the same values read.
+// That holds exactly when they target distinct registers, or both only read
+// the same register. Search layers (DPOR, sleep sets) use this to recognize
+// schedule prefixes that differ only by reordering commuting grants — the
+// partial-order equivalence the paper's adversary cannot tell apart either.
+func (a Intent) Commutes(b Intent) bool {
+	return a.Reg != b.Reg || (a.Kind == OpRead && b.Kind == OpRead)
+}
+
 // Gate is the hook by which a scheduler serializes and observes a process's
 // shared-memory steps. Step is called immediately before each register
 // access with the access described by intent; it blocks until the scheduler
