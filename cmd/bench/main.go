@@ -31,14 +31,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/afrename"
+	"repro/internal/check"
 	"repro/internal/compete"
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/marename"
+	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/sched/baseline"
 	"repro/internal/shmem"
@@ -98,12 +102,15 @@ type AdversaryEntry struct {
 // StrategyEntry records one (algorithm, n, strategy) cell of the search-
 // strategy comparison: how much fingerprint coverage the strategy bought
 // for how many explored decisions. Explored counts distinct scheduling
-// decisions (the model-checking "states visited" metric); the grants tree
-// strategies re-execute to reconstruct prefixes are reported separately as
-// Replayed, so the reconstruction overhead of stateless search is visible
-// next to the reduction. DPOR rows are coverage-matched — their execution
-// budget is the seeded row's Distinct, so Explored below the seeded row's
-// is partial-order reduction, not a smaller sweep.
+// decisions (the model-checking "states visited" metric); the grants
+// stateless tree strategies re-execute to reconstruct prefixes are reported
+// separately as Replayed, so the reconstruction overhead of stateless
+// search is visible next to the reduction — and next to the stateful
+// source-DPOR rows, whose Replayed is zero by construction (Restored counts
+// their checkpoint rewinds instead). DPOR and source-DPOR rows are
+// coverage-matched — their execution budget is the seeded row's Distinct,
+// so Explored below the seeded row's is partial-order reduction, not a
+// smaller sweep.
 type StrategyEntry struct {
 	Algorithm  string `json:"algorithm"`
 	N          int    `json:"n"`
@@ -112,10 +119,33 @@ type StrategyEntry struct {
 	Distinct   int    `json:"distinct_schedules"`
 	Explored   int    `json:"states_explored"`
 	Replayed   int    `json:"states_replayed"`
+	Restored   int    `json:"states_restored"`
 	Pruned     int    `json:"states_pruned"`
+	Deduped    int    `json:"states_deduped"`
 	Complete   bool   `json:"complete"`
 	WorstSteps int64  `json:"worst_steps"`
 	Violations int    `json:"violations"`
+}
+
+// ParallelEntry records one model-check fixture run of the parallel-drive
+// sweep: the stateful source-DPOR engine at each -workers setting, next to
+// the stateless sleep-set engine at one worker — the restore-versus-replay
+// economics and the root-shard fan-out on one table.
+type ParallelEntry struct {
+	Fixture            string  `json:"fixture"`
+	N                  int     `json:"n"`
+	MaxCrashes         int     `json:"max_crashes"`
+	Engine             string  `json:"engine"`
+	Workers            int     `json:"workers"`
+	Executions         int     `json:"executions"`
+	Explored           int     `json:"states_explored"`
+	Replayed           int     `json:"states_replayed"`
+	Restored           int     `json:"states_restored"`
+	Deduped            int     `json:"states_deduped"`
+	WallMs             float64 `json:"wall_ms"`
+	Complete           bool    `json:"complete"`
+	SpeedupVsSeq       float64 `json:"speedup_vs_workers1,omitempty"`
+	SpeedupVsStateless float64 `json:"speedup_vs_stateless,omitempty"`
 }
 
 // Report is the whole trajectory file.
@@ -130,6 +160,7 @@ type Report struct {
 	Grid       []GridEntry      `json:"grid"`
 	Adversary  []AdversaryEntry `json:"adversary,omitempty"`
 	Strategies []StrategyEntry  `json:"strategies,omitempty"`
+	Parallel   []ParallelEntry  `json:"parallel_drive,omitempty"`
 }
 
 func mallocs() uint64 {
@@ -349,14 +380,18 @@ func runAdversary(sizes []int, runs int) []AdversaryEntry {
 
 // runStrategies is the search-strategy comparison over the conformance
 // table at tiny populations: the seeded baseline (all families) against
-// DPOR, sleep sets, and coverage-guided mutation on the same cells. The
-// DPOR budget is set to the seeded row's distinct-fingerprint count, so its
-// rows answer the question the refactor poses: what does equal coverage
-// cost? A cell where dpor.states_explored < seeded.states_explored at
-// dpor.distinct >= seeded.distinct demonstrates the pruning.
+// DPOR, stateful source-DPOR, sleep sets, and coverage-guided mutation on
+// the same cells. The tree budgets are set to the seeded row's
+// distinct-fingerprint count, so their rows answer the question the
+// refactors pose: what does equal coverage cost? A cell where
+// dpor.states_explored < seeded.states_explored at dpor.distinct >=
+// seeded.distinct demonstrates partial-order pruning; a cell where the
+// sourcedpor row beats the dpor row (fewer states or replay eliminated, at
+// no less coverage) demonstrates the PR-5 engine.
 func runStrategies(runs int) []StrategyEntry {
 	var out []StrategyEntry
 	prunedCells := 0
+	srcCells := 0
 	for _, a := range conformance.Cases() {
 		for _, n := range []int{2, 3} {
 			explore := func(name string, maker adversary.StrategyMaker, cellRuns int, fams []adversary.Family) StrategyEntry {
@@ -388,7 +423,8 @@ func runStrategies(runs int) []StrategyEntry {
 					Algorithm: a.Name, N: n, Strategy: name,
 					Runs: o.Runs, Distinct: o.Distinct,
 					Explored: o.Explored, Replayed: o.Replayed,
-					Pruned: o.Pruned, Complete: complete,
+					Restored: o.Restored, Pruned: o.Pruned,
+					Deduped: o.Deduped, Complete: complete,
 					WorstSteps: o.MaxSteps, Violations: len(o.Violations),
 				}
 			}
@@ -400,22 +436,127 @@ func runStrategies(runs int) []StrategyEntry {
 				budget = 1
 			}
 			dpor := explore("dpor", adversary.DPOR(budget), budget, one)
+			src := explore("sourcedpor", adversary.SourceDPOR(budget, 0), budget, one)
 			sleep := explore("sleepset", adversary.SleepSets(seeded.Runs, n-1), seeded.Runs, one)
 			cov := explore("covguided", adversary.CoverageGuided(seeded.Runs), seeded.Runs, one)
-			out = append(out, seeded, dpor, sleep, cov)
+			out = append(out, seeded, dpor, src, sleep, cov)
 			if dpor.Distinct >= seeded.Distinct && dpor.Explored < seeded.Explored {
 				prunedCells++
 			}
+			// The PR-5 comparison: at the same execution budget (hence at
+			// least equal fingerprint coverage — every tree execution is a
+			// distinct Mazurkiewicz trace), source sets must pay no more
+			// explored decisions than the PR-3 all-pairs engine, with replay
+			// gone entirely; a strict win on either axis counts the cell.
+			if src.Distinct >= dpor.Distinct && src.Explored <= dpor.Explored && src.Replayed == 0 &&
+				(src.Explored < dpor.Explored || dpor.Replayed > 0) {
+				srcCells++
+			}
 			fmt.Fprintf(os.Stderr,
-				"strategy %-14s n=%d  seeded %5d explored/%4d distinct  dpor %5d/%4d  sleepset %5d/%4d  covguided %5d/%4d\n",
-				a.Name, n, seeded.Explored, seeded.Distinct, dpor.Explored, dpor.Distinct,
-				sleep.Explored, sleep.Distinct, cov.Explored, cov.Distinct)
+				"strategy %-14s n=%d  seeded %5d explored/%4d distinct  dpor %5d/%4d (+%d replayed)  sourcedpor %5d/%4d (+0 replayed)  sleepset %5d/%4d  covguided %5d/%4d\n",
+				a.Name, n, seeded.Explored, seeded.Distinct, dpor.Explored, dpor.Distinct, dpor.Replayed,
+				src.Explored, src.Distinct, sleep.Explored, sleep.Distinct, cov.Explored, cov.Distinct)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "strategy sweep: %d cells demonstrate DPOR pruning (equal coverage, fewer explored states)\n", prunedCells)
+	fmt.Fprintf(os.Stderr, "strategy sweep: %d cells demonstrate source-DPOR beating PR-3 DPOR (equal coverage, fewer states, zero replays)\n", srcCells)
 	if prunedCells == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no cell demonstrates DPOR pruning against the seeded baseline")
 		os.Exit(1)
+	}
+	if srcCells == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no cell demonstrates source-DPOR improving on the PR-3 DPOR engine")
+		os.Exit(1)
+	}
+	return out
+}
+
+// runParallel is the PR-5 restore-and-fan-out sweep: complete model-check
+// walks of conformance fixtures under (a) the stateless sleep-set engine —
+// the PR-3 reconstruction economics, every backtrack paying an O(depth)
+// prefix replay — and (b) the stateful source-DPOR engine at each -workers
+// setting, where backtracks restore checkpoints (states_replayed is zero by
+// construction) and root subtrees fan across workers. Speedups are reported
+// against the same engine at one worker (the parallel claim) and against
+// the stateless walk (the restore-versus-replay claim). Wall-clock
+// parallelism is bounded by the hardware: single-core machines will show
+// ~1x worker scaling while the GOMAXPROCS field says why.
+func runParallel(workersList []int, quick bool) []ParallelEntry {
+	type fixture struct {
+		name       string
+		n          int
+		maxCrashes int
+	}
+	// Crash-free fixtures additionally run the stateless PR-3 DPOR engine
+	// (schedule-only by construction), so the file records complete-coverage
+	// walks of the same tree under all-pairs backtracking versus source
+	// sets.
+	fixtures := []fixture{{"majority", 3, 0}, {"adaptive", 2, 0}, {"polylog", 4, 3}, {"adaptive", 2, 1}}
+	if quick {
+		fixtures = []fixture{{"majority", 3, 0}, {"majority", 3, 2}}
+	}
+	byName := map[string]conformance.Case{}
+	for _, tc := range conformance.Cases() {
+		byName[tc.Name] = tc
+	}
+	var out []ParallelEntry
+	for _, fx := range fixtures {
+		tc, n := byName[fx.name], fx.n
+		run := func(engine model.Engine, workers int) ParallelEntry {
+			rep := model.Check(tc.Name,
+				func() check.Renamer { return tc.New(n, 1) },
+				n, tc.Origs(n, 1), tc.Suite(n, "model"),
+				model.Options{MaxCrashes: fx.maxCrashes, Engine: engine, Workers: workers})
+			if rep.Violation != nil {
+				fmt.Fprintf(os.Stderr, "bench: parallel fixture %s n=%d VIOLATED: %v\n", tc.Name, n, rep.Violation)
+				os.Exit(1)
+			}
+			if !rep.Complete {
+				fmt.Fprintf(os.Stderr, "bench: parallel fixture %s n=%d did not exhaust; pick a smaller fixture\n", tc.Name, n)
+				os.Exit(1)
+			}
+			return ParallelEntry{
+				Fixture: tc.Name, N: n, MaxCrashes: fx.maxCrashes,
+				Engine: engine.String(), Workers: workers,
+				Executions: rep.Executions, Explored: rep.Explored,
+				Replayed: rep.Replayed, Restored: rep.Restored, Deduped: rep.Deduped,
+				WallMs: float64(rep.Elapsed.Microseconds()) / 1e3, Complete: rep.Complete,
+			}
+		}
+		stateless := run(model.EngineSleepSet, 1)
+		out = append(out, stateless)
+		if fx.maxCrashes == 0 {
+			dpor := run(model.EngineDPOR, 1)
+			out = append(out, dpor)
+			fmt.Fprintf(os.Stderr, "parallel %-10s n=%d stateless dpor: %8.1fms  %7d explored  %6d replayed\n",
+				tc.Name, n, dpor.WallMs, dpor.Explored, dpor.Replayed)
+		}
+		// The scaling baseline is the 1-worker entry, resolved after the
+		// sweep so the -workers order cannot matter; with a list that omits
+		// 1, the speedup-vs-sequential column would be a lie and is left
+		// unset.
+		sweep := make([]ParallelEntry, 0, len(workersList))
+		var seq ParallelEntry
+		for _, w := range workersList {
+			e := run(model.EngineSourceDPOR, w)
+			if w == 1 {
+				seq = e
+			}
+			sweep = append(sweep, e)
+		}
+		for _, e := range sweep {
+			if seq.WallMs > 0 {
+				e.SpeedupVsSeq = seq.WallMs / e.WallMs
+			}
+			if stateless.WallMs > 0 {
+				e.SpeedupVsStateless = stateless.WallMs / e.WallMs
+			}
+			out = append(out, e)
+			fmt.Fprintf(os.Stderr,
+				"parallel %-10s n=%d x%d workers: %8.1fms  %7d explored  %6d restored  %6d replayed  (%.2fx vs 1 worker, %.2fx vs stateless %.1fms/%d replayed)\n",
+				tc.Name, n, e.Workers, e.WallMs, e.Explored, e.Restored, e.Replayed,
+				e.SpeedupVsSeq, e.SpeedupVsStateless, stateless.WallMs, stateless.Replayed)
+		}
 	}
 	return out
 }
@@ -472,7 +613,17 @@ func main() {
 	quick := flag.Bool("quick", false, "small grid for CI smoke runs")
 	runs := flag.Int("runs", 3, "driven executions per grid configuration")
 	adversarial := flag.Bool("adversary", false, "sweep every adversary family per algorithm, recording worst-case observed steps vs the paper bound, plus the search-strategy comparison")
+	workers := flag.String("workers", "1,2,4", "comma-separated worker counts for the parallel model-check drive sweep")
 	flag.Parse()
+	var workersList []int
+	for _, f := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "bench: bad -workers entry %q\n", f)
+			os.Exit(2)
+		}
+		workersList = append(workersList, w)
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "bench: -out is required (e.g. -out BENCH_PR3.json, or '-' for stdout)")
 		flag.Usage()
@@ -491,8 +642,8 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         3,
-		Suite:      "pluggable exploration engine (strategies + model checker)",
+		PR:         5,
+		Suite:      "first-class execution state (checkpoint/restore, source-DPOR, parallel drive)",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -526,6 +677,7 @@ func main() {
 		}
 		rep.Adversary = runAdversary(sizes, advRuns)
 		rep.Strategies = runStrategies(stratRuns)
+		rep.Parallel = runParallel(workersList, *quick)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

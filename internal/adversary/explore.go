@@ -128,8 +128,10 @@ type CellStats struct {
 	Crashes   int    // total crash injections across runs
 	Violating int    // runs that violated the suite
 	Explored  int    // distinct scheduling decisions executed by the search
-	Replayed  int    // prefix grants re-executed for state reconstruction (tree strategies)
+	Replayed  int    // prefix grants re-executed for state reconstruction (stateless tree strategies)
+	Restored  int    // checkpoint restores performed (stateful strategies; replaces Replayed)
 	Pruned    int    // enabled choices skipped by partial-order reasoning
+	Deduped   int    // nodes cut as already-explored states (stateful strategies)
 	Complete  bool   // the strategy exhausted its search space for this cell
 }
 
@@ -140,8 +142,10 @@ type Outcome struct {
 	Distinct   int   // distinct schedule fingerprints across the campaign
 	MaxSteps   int64 // worst per-process step count across the campaign
 	Explored   int   // distinct scheduling decisions executed across the campaign
-	Replayed   int   // reconstruction grants re-executed by tree strategies
+	Replayed   int   // reconstruction grants re-executed by stateless tree strategies
+	Restored   int   // checkpoint restores performed by stateful strategies
 	Pruned     int   // choices skipped by partial-order reasoning
+	Deduped    int   // nodes cut as already-explored states
 	Cells      []CellStats
 	Violations []Violation
 }
@@ -189,7 +193,9 @@ func Explore(spec Spec) Outcome {
 			out.Runs += cell.stats.Runs
 			out.Explored += cell.stats.Explored
 			out.Replayed += cell.stats.Replayed
+			out.Restored += cell.stats.Restored
 			out.Pruned += cell.stats.Pruned
+			out.Deduped += cell.stats.Deduped
 			if cell.stats.MaxSteps > out.MaxSteps {
 				out.MaxSteps = cell.stats.MaxSteps
 			}
@@ -265,11 +271,18 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 	// is locked: the first touch of any given run is single-threaded (one
 	// ParallelRuns worker builds one run's spec; sequential strategies are
 	// one goroutine), so instance construction itself stays parallel on the
-	// seeded fast path.
+	// seeded fast path. Stateful strategies (source DPOR) search one
+	// persistent system through checkpoint/restore: every run maps to the
+	// run-0 capture, which lives for the whole cell and is reset — not
+	// rebuilt — between executions.
 	_, fanned := strat.(explore.Independent)
+	_, stateful := strat.(explore.Stateful)
 	var mu sync.Mutex
 	caps := make([]*capture, 0, spec.Runs)
 	capOf := func(run int) *capture {
+		if stateful {
+			run = 0
+		}
 		mu.Lock()
 		for len(caps) <= run {
 			caps = append(caps, nil)
@@ -316,6 +329,12 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 				c.got[p.ID()], c.oks[p.ID()] = c.r.Rename(p, p.Name())
 			}
 		},
+		Reset: func() {
+			c := capOf(0)
+			for i := range c.got {
+				c.got[i], c.oks[i] = 0, false
+			}
+		},
 		OnResult: func(run int, tr sched.Trace, res sched.Result) bool {
 			c := capOf(run)
 			seen[res.Fingerprint] = struct{}{}
@@ -346,17 +365,22 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 				})
 			}
 			// The run is checked; release its instance so long sequential
-			// campaigns do not hold every renamer ever built.
-			mu.Lock()
-			caps[run] = nil
-			mu.Unlock()
+			// campaigns do not hold every renamer ever built. (Stateful cells
+			// keep theirs: it IS the search state.)
+			if !stateful {
+				mu.Lock()
+				caps[run] = nil
+				mu.Unlock()
+			}
 			return true
 		},
 	})
 	cell.stats.Runs = stats.Executions
 	cell.stats.Explored = stats.Explored
 	cell.stats.Replayed = stats.Replayed
+	cell.stats.Restored = stats.Restored
 	cell.stats.Pruned = stats.Pruned
+	cell.stats.Deduped = stats.Deduped
 	cell.stats.Complete = stats.Complete
 	cell.stats.Distinct = len(cellSeen)
 	return cell

@@ -12,9 +12,10 @@ import (
 // schedule and the crash pattern at once, so every crashing input is a
 // complete reproducer. stratIdx selects the search strategy driving the
 // schedules — the direct seeded drive, a budgeted DPOR walk, a budgeted
-// sleep-set walk, or coverage-guided mutation — so the fuzz smoke job
-// exercises every code path of the exploration engine, not just the seeded
-// one. The invariants asserted are the unconditional ones — exclusiveness
+// sleep-set walk, a budgeted stateful source-DPOR walk (checkpoint/restore
+// state reconstruction), or coverage-guided mutation — so the fuzz smoke
+// job exercises every code path of the exploration engine, not just the
+// seeded one. The invariants asserted are the unconditional ones — exclusiveness
 // and full accounting — which no schedule or crash pattern may violate.
 func FuzzRenameSchedule(f *testing.F) {
 	f.Add(uint64(1), 0, 0, 2, 0)
@@ -28,6 +29,7 @@ func FuzzRenameSchedule(f *testing.F) {
 	f.Add(uint64(0x51ee9), 2, 0, 3, 2)
 	f.Add(uint64(0xc07), 0, 5, 3, 3)
 	f.Add(uint64(0xc08), 2, 2, 4, 3)
+	f.Add(uint64(0xc0b), 1, 5, 3, 4)
 	f.Fuzz(func(t *testing.T, seed uint64, algoIdx, famIdx, n, stratIdx int) {
 		// Clamp through unsigned arithmetic: negating math.MinInt overflows
 		// back to itself, so a signed abs-then-mod can stay negative.
@@ -51,7 +53,7 @@ func FuzzRenameSchedule(f *testing.F) {
 		}
 		suite := check.Suite{check.Exclusive(), check.Returned()}
 		var maker StrategyMaker
-		switch uint(stratIdx) % 4 {
+		switch uint(stratIdx) % 5 {
 		case 0:
 			// The original direct path: one seeded driven run.
 			r := mk(n, seed)
@@ -68,6 +70,9 @@ func FuzzRenameSchedule(f *testing.F) {
 			n = 1 + (n-1)%4 // tree walks stay tiny
 		case 2:
 			maker = SleepSets(24, 1)
+			n = 1 + (n-1)%4
+		case 3:
+			maker = SourceDPOR(24, 1)
 			n = 1 + (n-1)%4
 		default:
 			maker = CoverageGuided(16)

@@ -42,6 +42,25 @@ func DPOR(budget int) StrategyMaker {
 	}
 }
 
+// SourceDPOR is the stateful search: source-set partial-order reduction
+// with state-hash dedup, driving one persistent instance through
+// checkpoint/restore instead of rebuilding and replaying per execution
+// (CellStats.Replayed stays zero; Restored counts the rewinds). The cell's
+// family only names the cell, the instance is pinned to the cell's first
+// seed, budget caps executions (0 uses the cell's run budget), and
+// maxCrashes enables exhaustive crash branching. An unbudgeted completed
+// cell is a proof for that instance — internal/model runs exactly this
+// engine.
+func SourceDPOR(budget, maxCrashes int) StrategyMaker {
+	return func(fam Family, n int, seeds []uint64) explore.Strategy {
+		b := budget
+		if b <= 0 {
+			b = len(seeds)
+		}
+		return explore.NewSourceDPOR(seeds[0], b, maxCrashes)
+	}
+}
+
 // SleepSets is the exhaustive DFS with sleep-set pruning, optionally
 // branching on crashes (maxCrashes 0 = schedule-only). With budget 0 it uses
 // the cell's run budget; give it room (or use internal/model, which runs it

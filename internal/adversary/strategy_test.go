@@ -193,3 +193,62 @@ func TestSeededStrategyMatchesDefault(t *testing.T) {
 		}
 	}
 }
+
+// TestSourceDPORStrategyFindsPlantedBug: the stateful engine plugs into
+// Explore like any other maker, walks into the planted violation
+// systematically, and reconstructs state by restore — never by replay.
+func TestSourceDPORStrategyFindsPlantedBug(t *testing.T) {
+	out := Explore(strategySpec(SourceDPOR(256, 0), 8))
+	if len(out.Violations) == 0 {
+		t.Fatalf("source-DPOR missed the planted bug: %d runs, %d distinct, %d explored", out.Runs, out.Distinct, out.Explored)
+	}
+	v := out.Violations[0]
+	if !strings.Contains(v.Err.Error(), "exclusive") {
+		t.Fatalf("violation is not the planted exclusiveness bug: %v", v.Err)
+	}
+	if len(v.Trace) == 0 {
+		t.Fatal("stateful-strategy violation carries no schedule trace")
+	}
+	if out.Cells[0].Strategy != "sourcedpor" {
+		t.Fatalf("cell strategy %q, want sourcedpor", out.Cells[0].Strategy)
+	}
+	if out.Replayed != 0 {
+		t.Fatalf("stateful cell replayed %d grants; checkpoint/restore must replace replay", out.Replayed)
+	}
+}
+
+// TestSourceDPORProvesCellCheaperThanSleepSet: on the contended fixture both
+// tree engines exhaust the cell, but source sets + restore pay fewer
+// explored decisions and zero replays for the same complete coverage.
+func TestSourceDPORProvesCellCheaperThanSleepSet(t *testing.T) {
+	mk := func(maker StrategyMaker) Outcome {
+		return Explore(Spec{
+			Label: "contended",
+			// One contention round at n=3: small enough for the stateless
+			// engine to exhaust, contended enough to leave room for pruning.
+			New:      func(n int, seed uint64) check.Renamer { return newContended(n, 1) },
+			Ns:       []int{3},
+			Families: []Family{mustFamily("random")},
+			Runs:     1 << 20,
+			Seed:     7,
+			Strategy: maker,
+		})
+	}
+	sleep := mk(SleepSets(0, 0))
+	src := mk(SourceDPOR(0, 0))
+	if len(sleep.Violations)+len(src.Violations) != 0 {
+		t.Fatalf("contended fixture is correct, yet violations: %v %v", sleep.Violations, src.Violations)
+	}
+	if !sleep.Cells[0].Complete || !src.Cells[0].Complete {
+		t.Fatalf("cells not exhausted: sleepset %+v, sourcedpor %+v", sleep.Cells[0], src.Cells[0])
+	}
+	if src.Explored > sleep.Explored {
+		t.Fatalf("source-DPOR explored %d decisions, sleep-set %d — the reduced walk must not be larger", src.Explored, sleep.Explored)
+	}
+	if src.Replayed != 0 || sleep.Replayed == 0 {
+		t.Fatalf("replay accounting inverted: sourcedpor %d, sleepset %d", src.Replayed, sleep.Replayed)
+	}
+	if src.Cells[0].Restored == 0 {
+		t.Fatal("no restores recorded for the stateful cell")
+	}
+}

@@ -14,19 +14,28 @@ type GenomeConfig struct {
 	Mk   func(seed uint64) (sched.Policy, sched.CrashPlan)
 }
 
-// genome is one corpus entry: which configuration, driven by which seed.
+// genome is one corpus entry: which configuration, driven by which seed,
+// and how early its schedule went somewhere new (the prefix depth of its
+// first never-seen fingerprint; lower is more novel).
 type genome struct {
-	cfg  int
-	seed uint64
+	cfg   int
+	seed  uint64
+	depth int
 }
 
 // CoverageGuided is the fuzz-style strategy: it executes genomes and keeps
 // the ones whose schedules land a fingerprint never seen before, mutating
 // the corpus (bit flips on the seed, configuration hops) in preference to
-// drawing fresh random genomes. The schedule fingerprint (every grant folds
-// (pid, op, run length, crash) into a hash) is the coverage signal — the
-// same signal Explore reports as "distinct schedules" — so the search climbs
-// toward interleavings the seeded sweep has not produced.
+// drawing fresh random genomes. Coverage is prefix-based: every prefix of
+// the recorded trace has a cumulative fingerprint (sched.Trace.Fingerprints,
+// the same fold the controller maintains), and a schedule scores as novel at
+// the depth of its first never-seen prefix fingerprint. A schedule that
+// retreads a known interleaving for 30 grants and then diverges is banked —
+// with its divergence depth — where whole-schedule hashing would only bank
+// it if the complete schedule was new; mutation then prefers early
+// divergers (tournament selection on depth), which is what climbs at large
+// n, where almost every full schedule is trivially new but few are
+// structurally new early.
 type CoverageGuided struct {
 	cfgs   []GenomeConfig
 	budget int
@@ -42,6 +51,11 @@ type CoverageGuided struct {
 	pendBuf []int
 	stats   Stats
 	novel   int
+
+	// wholeOnly restores the pre-PR-5 whole-schedule coverage signal; kept
+	// (unexported) so the prefix-coverage regression test can race the two
+	// modes against each other on equal budgets.
+	wholeOnly bool
 }
 
 // NewCoverageGuided builds the strategy over the given configurations.
@@ -104,14 +118,16 @@ func (cg *CoverageGuided) Next(c *sched.Controller) Choice {
 	return Choice{Pid: pid}
 }
 
-// Backtrack implements Strategy: bank the genome if its schedule was novel,
-// then mutate the corpus (or draw fresh) for the next execution.
+// Backtrack implements Strategy: bank the genome (with its first-novelty
+// depth) if any prefix of its schedule was new, then mutate the corpus (or
+// draw fresh) for the next execution.
 func (cg *CoverageGuided) Backtrack(t sched.Trace, res sched.Result) bool {
 	cg.stats.Executions++
 	cg.started = false
 	cg.policy, cg.plan = nil, nil
-	if _, dup := cg.seen[res.Fingerprint]; !dup {
-		cg.seen[res.Fingerprint] = struct{}{}
+	depth := cg.noveltyDepth(t, res)
+	if depth >= 0 {
+		cg.cur.depth = depth
 		cg.corpus = append(cg.corpus, cg.cur)
 		cg.novel++
 	}
@@ -125,7 +141,7 @@ func (cg *CoverageGuided) Backtrack(t sched.Trace, res sched.Result) bool {
 		cg.cur = genome{cfg: cg.rng.Intn(len(cg.cfgs)), seed: cg.rng.Uint64()}
 		return true
 	}
-	base := cg.corpus[cg.rng.Intn(len(cg.corpus))]
+	base := cg.pickBase()
 	switch cg.rng.Intn(4) {
 	case 0:
 		// Hop configurations, keep the seed: the same schedule skeleton under
@@ -140,6 +156,50 @@ func (cg *CoverageGuided) Backtrack(t sched.Trace, res sched.Result) bool {
 	}
 	cg.cur = base
 	return true
+}
+
+// noveltyDepth scores one finished execution: the 0-based depth of its first
+// never-seen prefix fingerprint, or -1 for an exact repeat of a known
+// schedule. Only two fingerprints are ever recorded per novel execution —
+// the first-new prefix and the complete schedule — so the seen set stays
+// O(1) per execution like the whole-schedule mode, instead of O(trace
+// length) (at the large n this mode targets, traces run to thousands of
+// grants and a full prefix record would dominate the campaign's memory).
+// The sparse record can only make later schedules look novel slightly
+// *earlier* than their true divergence point — over-banking a genome, never
+// dropping one. In whole-schedule mode only the final fingerprint counts,
+// at full depth.
+func (cg *CoverageGuided) noveltyDepth(t sched.Trace, res sched.Result) int {
+	if _, dup := cg.seen[res.Fingerprint]; dup {
+		return -1
+	}
+	cg.seen[res.Fingerprint] = struct{}{}
+	if cg.wholeOnly || len(t) == 0 {
+		return len(t)
+	}
+	depth := len(t) - 1
+	t.EachFingerprint(func(d int, fp uint64) bool {
+		if _, dup := cg.seen[fp]; dup {
+			return true
+		}
+		depth = d
+		cg.seen[fp] = struct{}{}
+		return false
+	})
+	return depth
+}
+
+// pickBase selects a corpus genome for mutation by tournament: of two random
+// entries, the one whose schedule diverged from known territory earlier
+// wins. Early divergers reshape the whole suffix when mutated; late
+// divergers mostly re-walk covered ground.
+func (cg *CoverageGuided) pickBase() genome {
+	a := cg.corpus[cg.rng.Intn(len(cg.corpus))]
+	b := cg.corpus[cg.rng.Intn(len(cg.corpus))]
+	if b.depth < a.depth {
+		return b
+	}
+	return a
 }
 
 // Stats implements Strategy.

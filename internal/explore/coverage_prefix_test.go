@@ -1,0 +1,62 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// coverageClimb drives a CoverageGuided strategy over adaptive n=4 for its
+// whole budget and reports how many distinct complete schedules (full
+// fingerprints) it reached.
+func coverageClimb(t *testing.T, cg *CoverageGuided, n int) int {
+	t.Helper()
+	distinct := make(map[uint64]struct{})
+	Drive(cg, Config{
+		N: n,
+		Body: func(run int) sched.Body {
+			r := core.NewAdaptive(n, core.Config{Seed: cg.RunSeed(run)})
+			return func(p *shmem.Proc) { r.Rename(p, p.Name()) }
+		},
+		OnResult: func(run int, tr sched.Trace, res sched.Result) bool {
+			distinct[res.Fingerprint] = struct{}{}
+			return true
+		},
+	})
+	return len(distinct)
+}
+
+// TestPrefixCoverageClimbsFaster: at an equal budget on adaptive n=4,
+// prefix-based coverage (bank any schedule whose first-new fingerprint
+// appears at any depth, prefer early divergers for mutation) must reach at
+// least as many distinct complete schedules as the pre-PR-5 whole-schedule
+// signal, and bank strictly more novel genomes. Deterministic: both modes
+// run from the same seed.
+func TestPrefixCoverageClimbsFaster(t *testing.T) {
+	const n, budget, seed = 4, 120, 11
+	cfgs := []GenomeConfig{
+		{Name: "random", Mk: func(s uint64) (sched.Policy, sched.CrashPlan) {
+			return sched.NewRandom(s), nil
+		}},
+		{Name: "roundrobin", Mk: func(s uint64) (sched.Policy, sched.CrashPlan) {
+			return &sched.RoundRobin{}, nil
+		}},
+	}
+	prefix := NewCoverageGuided(seed, budget, cfgs)
+	prefixDistinct := coverageClimb(t, prefix, n)
+
+	whole := NewCoverageGuided(seed, budget, cfgs)
+	whole.wholeOnly = true
+	wholeDistinct := coverageClimb(t, whole, n)
+
+	t.Logf("distinct complete schedules at budget %d: prefix %d, whole %d (novel genomes %d vs %d)",
+		budget, prefixDistinct, wholeDistinct, prefix.Novel(), whole.Novel())
+	if prefixDistinct < wholeDistinct {
+		t.Fatalf("prefix coverage found %d distinct schedules, whole-schedule found %d", prefixDistinct, wholeDistinct)
+	}
+	if prefix.Novel() <= whole.Novel() {
+		t.Fatalf("prefix coverage banked %d novel genomes, whole-schedule %d — the finer signal must bank more", prefix.Novel(), whole.Novel())
+	}
+}

@@ -42,6 +42,7 @@ type Tree struct {
 	pos       int // replay cursor: next stack index to re-apply
 	abandoned bool
 	done      bool
+	rootPin   *Choice // restrict the search to one root decision (sharding)
 	stats     Stats
 }
 
@@ -89,6 +90,13 @@ func NewSleepSet(seed uint64, budget, maxCrashes int) *Tree {
 
 // Name implements Strategy.
 func (t *Tree) Name() string { return t.name }
+
+// PinRoot restricts the search to the subtree under one root decision, for
+// sharding a tree across DriveParallel workers: every enabled root choice is
+// some worker's pin, so the union of the shards covers the tree. Races that
+// would schedule other root choices are dropped locally — the partition
+// already owns them.
+func (t *Tree) PinRoot(ch Choice) { t.rootPin = &ch }
 
 // RunSeed implements Seeder: tree searches explore the schedules of one
 // deterministic system, so every execution rebuilds from the same seed.
@@ -148,19 +156,27 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 			t.stats.Pruned++
 		}
 	}
-	if t.dpor {
+	switch {
+	case t.rootPin != nil && t.pos == 0:
+		bit := uint64(1) << uint(t.rootPin.Pid)
+		if t.rootPin.Crash {
+			f.btCrash = bit & f.enabled
+		} else {
+			f.btStep = bit & f.enabled
+		}
+	case t.dpor:
 		// The backtrack set starts with one arbitrary (lowest awake) enabled
 		// process; race analysis grows it as conflicts surface.
 		if first := f.enabled &^ f.doneStep; first != 0 {
 			f.btStep = first & (-first)
 		}
-	} else {
+	default:
 		f.btStep = f.enabled
 		if t.maxCrashes > 0 && f.crashesBefore < t.maxCrashes {
 			f.btCrash = f.enabled
 		}
 	}
-	if !t.pick(&f) {
+	if !pickNext(&f) {
 		// Every scheduled transition is asleep: this whole subtree reorders
 		// commuting grants of executions explored elsewhere.
 		t.abandoned = true
@@ -173,24 +189,6 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 	t.pos++
 	t.stats.Explored++
 	return t.stack[len(t.stack)-1].chosen
-}
-
-// pick selects the next unexplored scheduled transition of f (steps before
-// crashes, ascending pid), marks it done, and installs it as f.chosen.
-func (t *Tree) pick(f *frame) bool {
-	if avail := f.btStep &^ f.doneStep; avail != 0 {
-		pid := bits.TrailingZeros64(avail)
-		f.doneStep |= 1 << uint(pid)
-		f.chosen = Choice{Pid: pid}
-		return true
-	}
-	if avail := f.btCrash &^ f.doneCrash; avail != 0 {
-		pid := bits.TrailingZeros64(avail)
-		f.doneCrash |= 1 << uint(pid)
-		f.chosen = Choice{Pid: pid, Crash: true}
-		return true
-	}
-	return false
 }
 
 // childSleep derives the sleep set of the node reached by parent.chosen:
@@ -265,7 +263,7 @@ func (t *Tree) Backtrack(tr sched.Trace, res sched.Result) bool {
 			continue
 		}
 		t.stack = t.stack[:i+1]
-		t.pick(f)
+		pickNext(f)
 		// The committed choice executes as the last prefix event of the next
 		// execution, where Next counts it as a new decision.
 		t.pos = 0
@@ -293,6 +291,9 @@ func (t *Tree) race(tr sched.Trace) {
 		for i := j - 1; i >= 0; i-- {
 			if tr[i].Pid == ej.Pid || tr[i].Commutes(ej) {
 				continue
+			}
+			if t.rootPin != nil && i == 0 {
+				continue // root decisions are owned by the shard partition
 			}
 			f := &t.stack[i]
 			if bit := uint64(1) << uint(ej.Pid); f.enabled&bit != 0 {

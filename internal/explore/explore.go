@@ -3,7 +3,7 @@
 // drivers (internal/adversary, internal/model). A Strategy decides, at every
 // decision point of an in-flight execution, which pending process to grant
 // (or crash), and — when the execution completes — consumes its recorded
-// Trace to steer the next one. Four strategies ship:
+// Trace to steer the next one. Five strategies ship:
 //
 //   - Seeded: wraps a (policy, crash plan) factory per run seed — the
 //     pre-existing blind-seeding behavior, bit-for-bit, and embarrassingly
@@ -13,10 +13,14 @@
 //     sets. Explores at least one representative per Mazurkiewicz trace, so
 //     final-state invariants checked on its executions are checked on all.
 //   - SleepSet: the exhaustive DFS over the full schedule-and-crash tree with
-//     sleep-set pruning of commuting grants. Unbudgeted it exhausts the tree
-//     — the engine internal/model proves tiny populations with.
+//     sleep-set pruning of commuting grants. Unbudgeted it exhausts the tree.
+//   - SourceDPOR: the stateful engine — source sets instead of all-pairs
+//     backtracking, state-hash dedup of revisited states, and
+//     checkpoint/restore instead of prefix replay. The engine internal/model
+//     proves tiny populations with.
 //   - CoverageGuided: fuzz-style mutation of (configuration, seed) pairs,
-//     keeping the genomes that produce novel schedule fingerprints.
+//     keeping the genomes whose schedules reach never-seen prefix
+//     fingerprints.
 //
 // The package knows nothing about renaming: independence between grants
 // comes entirely from the Intent metadata the scheduler exposes (distinct
@@ -57,11 +61,19 @@ type Stats struct {
 	Explored int
 	// Replayed counts prefix grants re-executed during state reconstruction
 	// (tree strategies only) — the bookkeeping cost of statelessness. Total
-	// grants performed = Explored + Replayed.
+	// grants performed = Explored + Replayed. Stateful strategies (source
+	// DPOR) reconstruct by checkpoint restore instead and always report 0.
 	Replayed int
+	// Restored counts checkpoint restores performed by stateful strategies —
+	// the rewind (undo-log walk + handoff-free parallel catch-up) that
+	// replaces each Replayed prefix re-execution.
+	Restored int
 	// Pruned counts enabled choices the strategy skipped because partial-order
 	// reasoning (sleep sets, backtrack sets) showed them redundant.
 	Pruned int
+	// Deduped counts nodes cut because their full state (registers + process
+	// local states, by 128-bit hash) had already been exhaustively explored.
+	Deduped int
 	// Complete reports that the strategy exhausted its search space: every
 	// schedule (modulo commuting-grant equivalence) has been covered. Only
 	// the tree strategies can set it; budget exhaustion leaves it false.
@@ -100,6 +112,20 @@ type Independent interface {
 	PolicyPlan(run int) (sched.Policy, sched.CrashPlan)
 }
 
+// Stateful is implemented by strategies that search over one persistent
+// controller with checkpoint/restore (sched.Checkpoint / sched.Restore)
+// instead of rebuilding a fresh instance and replaying the choice prefix per
+// execution. Drive builds the controller once — from run 0's body — with
+// state capture enabled, and calls BacktrackState in place of Backtrack at
+// the end of every execution: the strategy restores the controller to its
+// next frontier node (passing reset through to sched.Restore so the caller
+// can clear body-external capture arrays before the respawn) and returns
+// false when the search is exhausted.
+type Stateful interface {
+	Strategy
+	BacktrackState(c *sched.Controller, t sched.Trace, res sched.Result, reset func()) bool
+}
+
 // Seeder is implemented by strategies that dictate the instance seed of each
 // execution. Tree searches (DPOR, SleepSet) pin every execution to one seed —
 // the search is over schedules of a single deterministic system — while
@@ -128,6 +154,11 @@ type Config struct {
 	// skipped): its run index, recorded trace, and result. Returning false
 	// stops the drive — how invariant checkers abort on first violation.
 	OnResult func(run int, t sched.Trace, res sched.Result) bool
+	// Reset clears body-external per-execution capture (outcome arrays the
+	// body writes into) before a stateful strategy's restore respawns the
+	// processes. Stateless strategies never call it — they rebuild via
+	// Body(run) instead. nil is fine when the body captures nothing.
+	Reset func()
 }
 
 func (cfg *Config) names(run int) []int64 {
@@ -145,6 +176,9 @@ func (cfg *Config) names(run int) []int64 {
 func Drive(s Strategy, cfg Config) Stats {
 	if ind, ok := s.(Independent); ok {
 		return driveParallel(s, ind, cfg)
+	}
+	if ss, ok := s.(Stateful); ok {
+		return driveStateful(ss, cfg)
 	}
 	run := 0
 	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
@@ -181,6 +215,47 @@ func Drive(s Strategy, cfg Config) Stats {
 			break
 		}
 	}
+	return s.Stats()
+}
+
+// driveStateful is the checkpoint/restore drive: one controller, one
+// instance, built from run 0's body and never rebuilt. The strategy extends
+// the in-flight execution decision by decision; at every backtrack the
+// strategy restores the controller to the frontier node — no grant is ever
+// re-executed, so the Replayed accounting of stateless tree search stays at
+// zero by construction.
+func driveStateful(s Stateful, cfg Config) Stats {
+	c := sched.NewController(cfg.N, cfg.names(0), cfg.Body(0))
+	c.EnableState()
+	// The loop shape mirrors the stateless drive exactly: BacktrackState is
+	// called on every finished execution — including the one that hits
+	// MaxExecutions — so the cap never loses an execution from the stats or
+	// its races from the backtrack sets.
+	run := 0
+	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
+		abandoned := false
+		for c.PendingCount() > 0 {
+			ch := s.Next(c)
+			if ch.Pid < 0 {
+				abandoned = true
+				break
+			}
+			if ch.Crash {
+				c.Crash(ch.Pid)
+			} else {
+				c.Step(ch.Pid)
+			}
+		}
+		t, res := c.Trace(), c.Result()
+		if !abandoned && cfg.OnResult != nil && !cfg.OnResult(run, t, res) {
+			break
+		}
+		run++
+		if !s.BacktrackState(c, t, res, cfg.Reset) {
+			break
+		}
+	}
+	c.Abort() // release a partially driven final execution, if any
 	return s.Stats()
 }
 

@@ -12,9 +12,13 @@ import (
 // raceBody is a tiny nondeterministic protocol: each process writes its id
 // into the shared register, reads it back, and returns what it saw. The
 // final values depend on the interleaving, so the set of reachable outcome
-// vectors is a faithful signature of schedule coverage.
+// vectors is a faithful signature of schedule coverage. The body clears its
+// own capture slot first, so a single fixture driven by a stateful
+// (checkpoint/restore) strategy never leaks an abandoned branch's
+// observation into the next: catch-up re-runs the body from the top.
 func raceBody(r *shmem.Reg, got []int64) sched.Body {
 	return func(p *shmem.Proc) {
+		got[p.ID()] = 0
 		p.Write(r, int64(p.ID()+1))
 		got[p.ID()] = p.Read(r)
 	}
@@ -68,6 +72,20 @@ func bruteForce(t *testing.T, n int, mk func() (sched.Body, func(res sched.Resul
 func driveTree(t *testing.T, s Strategy, n int, mk func() (sched.Body, func(res sched.Result) string)) (map[string]bool, Stats) {
 	t.Helper()
 	outcomes := make(map[string]bool)
+	if _, stateful := s.(Stateful); stateful {
+		// One persistent fixture for the whole search; the bodies used here
+		// re-clear their own captures, so no Reset hook is needed.
+		body, fin := mk()
+		st := Drive(s, Config{
+			N:    n,
+			Body: func(run int) sched.Body { return body },
+			OnResult: func(run int, tr sched.Trace, res sched.Result) bool {
+				outcomes[fin(res)] = true
+				return true
+			},
+		})
+		return outcomes, st
+	}
 	var fins []func(res sched.Result) string
 	st := Drive(s, Config{
 		N: n,

@@ -1,0 +1,522 @@
+package explore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// SourceDPOR is the stateful tree search: source-set dynamic partial-order
+// reduction (Abdulla, Aronis, Jonsson, Sagonas, POPL 2014) with sleep sets,
+// optional exhaustive crash branching, and 128-bit state-hash dedup of
+// revisited nodes, driven over one persistent controller through
+// checkpoint/restore. It differs from the stateless Tree engine (NewDPOR /
+// NewSleepSet) in all three dimensions the ROADMAP named:
+//
+//   - Backtrack points come from source sets: for a race between events e_i
+//     and e_j, it schedules one *initial* of the sub-sequence leading to e_j
+//     — and nothing at all when the backtrack set already contains one —
+//     instead of the PR-3 engine's "schedule the racer or every enabled
+//     process" over-approximation. Fewer scheduled points, same guarantee:
+//     at least one representative per Mazurkiewicz trace.
+//
+//   - Each node carries a sched.Snapshot; backtracking restores it in
+//     O(changes since the node) rather than re-executing the O(depth)
+//     prefix, so Stats.Replayed is zero by construction and Stats.Restored
+//     counts the restores.
+//
+//   - Nodes whose complete state (registers + every process's read-history
+//     hash) was already exhaustively explored are cut (Stats.Deduped).
+//     Soundness bookkeeping for the cut: a node is only matched against
+//     closed records whose sleep set was a subset of the current one and
+//     whose remaining crash budget was at least the current one, and every
+//     closed record carries the register-access footprint of its subtree so
+//     the races its re-exploration would have surfaced are re-applied to the
+//     current prefix's backtrack sets.
+//
+// Like the stateless engines it pins every execution to one instance seed:
+// the search is over the schedules of a single deterministic system.
+type SourceDPOR struct {
+	seed       uint64
+	budget     int // executions (complete + partial) cap; 0 = exhaust
+	maxCrashes int // crash-branching cap per execution; 0 = schedule-only
+	dedup      bool
+
+	stack     []sframe
+	resumeAt  int // frame whose freshly picked choice executes next; -1 none
+	abandoned bool
+	rootPin   *Choice
+	table     map[[2]uint64][]closedRec
+	scratch   raceScratch
+	stats     Stats
+}
+
+// sframe extends the shared tree frame with the stateful machinery: the
+// node's snapshot, its state key, its sleep set as masks (for the dedup
+// subset test), and the accumulated subtree footprint.
+type sframe struct {
+	frame
+	snap       sched.Snapshot
+	key        [2]uint64
+	sleepStep  uint64
+	sleepCrash uint64
+	foot       map[footKey]struct{}
+}
+
+// footKey identifies one kind of register access occurring in a subtree:
+// which process performed which operation on which register. Crashes touch
+// no register and commute with everything, so they never enter a footprint.
+type footKey struct {
+	reg  any
+	kind shmem.OpKind
+	pid  int
+}
+
+// closedRec is one fully explored state: everything reachable from it
+// (outside its sleep set, within its crash budget) has been executed and
+// checked. A later visit to the same state may be cut if its obligations
+// are covered — see matches.
+type closedRec struct {
+	sleepStep   uint64
+	sleepCrash  uint64
+	crashBudget int
+	foot        map[footKey]struct{}
+}
+
+// matches reports whether the record's coverage subsumes a revisit carrying
+// the given sleep masks and remaining crash budget: the record explored
+// everything outside ITS sleep set, so the revisit — which only owes
+// everything outside its own, larger-or-equal sleep set — is covered.
+func (r *closedRec) matches(sleepStep, sleepCrash uint64, crashBudget int) bool {
+	return r.sleepStep&^sleepStep == 0 && r.sleepCrash&^sleepCrash == 0 && r.crashBudget >= crashBudget
+}
+
+// NewSourceDPOR returns the stateful source-set DPOR strategy. budget caps
+// executions (complete + partial); 0 exhausts the reduced tree, at which
+// point Stats().Complete reports the proof. maxCrashes enables exhaustive
+// crash branching up to the cap (crash choices are never source-reduced —
+// each is its own branch, as in NewSleepSet). seed pins the instance.
+func NewSourceDPOR(seed uint64, budget, maxCrashes int) *SourceDPOR {
+	return &SourceDPOR{
+		seed:       seed,
+		budget:     budget,
+		maxCrashes: maxCrashes,
+		dedup:      true,
+		resumeAt:   -1,
+		table:      make(map[[2]uint64][]closedRec),
+	}
+}
+
+// DisableDedup turns off state-hash dedup (for measuring its contribution;
+// the search degenerates to pure source-DPOR). Returns the receiver.
+func (t *SourceDPOR) DisableDedup() *SourceDPOR {
+	t.dedup = false
+	return t
+}
+
+// PinRoot restricts the search to the subtree under one root decision, for
+// sharding a tree across DriveParallel workers: every enabled root choice is
+// some worker's pin, so the union of the shards covers the tree. Races that
+// would schedule other root choices are dropped locally — the partition
+// already owns them.
+func (t *SourceDPOR) PinRoot(ch Choice) { t.rootPin = &ch }
+
+// Name implements Strategy.
+func (t *SourceDPOR) Name() string { return "sourcedpor" }
+
+// RunSeed implements Seeder: one deterministic system per search.
+func (t *SourceDPOR) RunSeed(run int) uint64 { return t.seed }
+
+// Stats implements Strategy.
+func (t *SourceDPOR) Stats() Stats { return t.stats }
+
+// Backtrack implements Strategy for interface completeness; the stateful
+// drive calls BacktrackState instead.
+func (t *SourceDPOR) Backtrack(tr sched.Trace, res sched.Result) bool {
+	panic("explore: SourceDPOR must be driven statefully (BacktrackState)")
+}
+
+// Next implements Strategy. Unlike the stateless Tree there is no replay
+// phase: the controller is already at the frontier, so Next either commits
+// the choice BacktrackState just picked or opens a new node.
+func (t *SourceDPOR) Next(c *sched.Controller) Choice {
+	if t.resumeAt >= 0 {
+		f := &t.stack[t.resumeAt]
+		t.resumeAt = -1
+		t.commit(c, f)
+		return f.chosen
+	}
+	f := sframe{frame: frame{enabled: enabledMask(c)}}
+	if len(t.stack) > 0 {
+		parent := &t.stack[len(t.stack)-1]
+		f.crashesBefore = parent.crashesBefore
+		if parent.chosen.Crash {
+			f.crashesBefore++
+		}
+		f.sleep = childSleep(c, &parent.frame)
+	}
+	// Sleeping transitions are pre-marked done: exploring one would re-derive
+	// a schedule already covered under an earlier sibling.
+	for _, e := range f.sleep {
+		bit := uint64(1) << uint(e.pid)
+		if f.enabled&bit == 0 {
+			continue
+		}
+		if e.crash {
+			if f.doneCrash&bit == 0 {
+				f.doneCrash |= bit
+				f.sleepCrash |= bit
+				t.stats.Pruned++
+			}
+		} else if f.doneStep&bit == 0 {
+			f.doneStep |= bit
+			f.sleepStep |= bit
+			t.stats.Pruned++
+		}
+	}
+	if t.dedup && len(t.stack) > 0 {
+		key := c.StateHash()
+		if recs, ok := t.table[key]; ok {
+			budget := t.maxCrashes - f.crashesBefore
+			for i := range recs {
+				if recs[i].matches(f.sleepStep, f.sleepCrash, budget) {
+					t.coverDedup(&recs[i])
+					t.stats.Deduped++
+					t.abandoned = true
+					return Abandon
+				}
+			}
+		}
+		f.key = key
+	}
+	if t.rootPin != nil && len(t.stack) == 0 {
+		bit := uint64(1) << uint(t.rootPin.Pid)
+		if t.rootPin.Crash {
+			f.btCrash = bit & f.enabled
+		} else {
+			f.btStep = bit & f.enabled
+		}
+	} else {
+		// Source mode: the backtrack set starts with one arbitrary (lowest
+		// awake) enabled process; race analysis grows it. Crash branching is
+		// exhaustive within the budget.
+		if first := f.enabled &^ f.doneStep; first != 0 {
+			f.btStep = first & (-first)
+		}
+		if t.maxCrashes > 0 && f.crashesBefore < t.maxCrashes {
+			f.btCrash = f.enabled
+		}
+	}
+	if !pickNext(&f.frame) {
+		t.abandoned = true
+		return Abandon
+	}
+	f.snap = c.Checkpoint()
+	t.stack = append(t.stack, f)
+	t.commit(c, &t.stack[len(t.stack)-1])
+	return f.chosen
+}
+
+// commit finalizes an about-to-execute choice on its frame: refresh the
+// posted intent (live — the controller is at the frame's state), record the
+// access in the subtree footprint (dedup mode only — footprints exist to
+// replay a closed subtree's race obligations at a dedup cut), and count the
+// decision.
+func (t *SourceDPOR) commit(c *sched.Controller, f *sframe) {
+	f.chosenIn = c.Intent(f.chosen.Pid)
+	if t.dedup && !f.chosen.Crash {
+		if f.foot == nil {
+			f.foot = make(map[footKey]struct{})
+		}
+		f.foot[footKey{reg: f.chosenIn.Reg, kind: f.chosenIn.Kind, pid: f.chosen.Pid}] = struct{}{}
+	}
+	t.stats.Explored++
+}
+
+// BacktrackState implements Stateful: fold the finished execution's races
+// into the backtrack sets, close and pop exhausted frames (recording their
+// states in the dedup table), and restore the controller to the deepest
+// frame with an unexplored scheduled choice.
+func (t *SourceDPOR) BacktrackState(c *sched.Controller, tr sched.Trace, res sched.Result, reset func()) bool {
+	if t.abandoned {
+		t.abandoned = false
+		t.stats.Partial++
+	} else {
+		t.stats.Executions++
+	}
+	t.updateRaces(tr)
+	if t.budget > 0 && t.stats.Executions+t.stats.Partial >= t.budget {
+		return false
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		f := &t.stack[i]
+		if (f.btStep&^f.doneStep)|(f.btCrash&^f.doneCrash) == 0 {
+			t.closeFrame(i)
+			t.stack = t.stack[:i]
+			continue
+		}
+		t.stack = t.stack[:i+1]
+		c.Restore(f.snap, reset)
+		t.stats.Restored++
+		pickNext(&f.frame)
+		t.resumeAt = i
+		return true
+	}
+	t.stats.Complete = true
+	return false
+}
+
+// closeFrame records a fully explored frame's state as closed and folds its
+// subtree footprint into its parent's.
+func (t *SourceDPOR) closeFrame(i int) {
+	if !t.dedup {
+		return
+	}
+	f := &t.stack[i]
+	if i > 0 {
+		t.table[f.key] = append(t.table[f.key], closedRec{
+			sleepStep:   f.sleepStep,
+			sleepCrash:  f.sleepCrash,
+			crashBudget: t.maxCrashes - f.crashesBefore,
+			foot:        f.foot,
+		})
+		mergeFoot(&t.stack[i-1], f.foot)
+	}
+}
+
+// coverDedup re-applies a closed subtree's obligations at a dedup cut: every
+// race between a prefix event and a footprint access is scheduled at the
+// prefix frame (the PR-3-style over-approximation — always at least what the
+// subtree's own race analysis would have added), and the footprint is
+// credited to the cut point's parent so enclosing subtrees stay complete.
+func (t *SourceDPOR) coverDedup(rec *closedRec) {
+	for i := range t.stack {
+		if t.rootPin != nil && i == 0 {
+			continue
+		}
+		f := &t.stack[i]
+		if f.chosen.Crash {
+			continue
+		}
+		for fe := range rec.foot {
+			if fe.pid == f.chosen.Pid {
+				continue
+			}
+			if f.chosenIn.Reg != fe.reg || (f.chosenIn.Kind == shmem.OpRead && fe.kind == shmem.OpRead) {
+				continue // commuting accesses: no race
+			}
+			if bit := uint64(1) << uint(fe.pid); f.enabled&bit != 0 {
+				f.btStep |= bit
+			} else {
+				f.btStep |= f.enabled
+			}
+		}
+	}
+	mergeFoot(&t.stack[len(t.stack)-1], rec.foot)
+}
+
+// mergeFoot unions src into dst's subtree footprint.
+func mergeFoot(dst *sframe, src map[footKey]struct{}) {
+	if len(src) == 0 {
+		return
+	}
+	if dst.foot == nil {
+		dst.foot = make(map[footKey]struct{}, len(src))
+	}
+	for k := range src {
+		dst.foot[k] = struct{}{}
+	}
+}
+
+// raceScratch holds the per-execution race-analysis buffers, reused across
+// executions so the hot search loop stays allocation-light.
+type raceScratch struct {
+	regKey  map[any]int32 // register identity -> dense key for this trace
+	keys    []int32       // per event: register key (-1 for crashes)
+	writes  []bool        // per event: the access was a write
+	hb      []uint64      // L x words bitset: hb[j] = events happening-before j
+	covered []uint64      // scratch row: union of hb[m] over m in hb[j]
+	words   int
+}
+
+// bit helpers over packed rows of width s.words.
+func (s *raceScratch) row(r []uint64, j int) []uint64 { return r[j*s.words : (j+1)*s.words] }
+func rowGet(row []uint64, i int) bool                 { return row[i>>6]&(1<<(uint(i)&63)) != 0 }
+func rowSet(row []uint64, i int)                      { row[i>>6] |= 1 << (uint(i) & 63) }
+func rowOr(dst, src []uint64) {
+	for w := range dst {
+		dst[w] |= src[w]
+	}
+}
+
+// prepare digests a trace: dense register keys (interface comparisons are
+// the profile's hot spot — one map lookup per event replaces O(L²) of them)
+// and the happens-before relation as bitsets, computed by one transitive
+// pass over direct dependences (same process, or non-commuting accesses).
+func (s *raceScratch) prepare(tr sched.Trace) {
+	L := len(tr)
+	if s.regKey == nil {
+		s.regKey = make(map[any]int32)
+	}
+	clear(s.regKey)
+	s.keys = append(s.keys[:0], make([]int32, L)...)
+	s.writes = append(s.writes[:0], make([]bool, L)...)
+	for j, e := range tr {
+		if e.Crash {
+			s.keys[j] = -1
+			continue
+		}
+		k, ok := s.regKey[e.Reg]
+		if !ok {
+			k = int32(len(s.regKey))
+			s.regKey[e.Reg] = k
+		}
+		s.keys[j] = k
+		s.writes[j] = e.Op == shmem.OpWrite
+	}
+	s.words = (L + 63) / 64
+	need := L * s.words
+	s.hb = append(s.hb[:0], make([]uint64, need)...)
+	s.covered = append(s.covered[:0], make([]uint64, s.words)...)
+	for j := 1; j < L; j++ {
+		hbj := s.row(s.hb, j)
+		for m := 0; m < j; m++ {
+			if s.depends(tr, m, j) {
+				rowOr(hbj, s.row(s.hb, m))
+				rowSet(hbj, m)
+			}
+		}
+	}
+}
+
+// depends reports a direct dependence edge m -> k: same process (program
+// order), or accesses to the same register that are not both reads. Crashes
+// touch no register and depend only on their own process.
+func (s *raceScratch) depends(tr sched.Trace, m, k int) bool {
+	if tr[m].Pid == tr[k].Pid {
+		return true
+	}
+	if s.keys[m] < 0 || s.keys[k] < 0 {
+		return false
+	}
+	return s.keys[m] == s.keys[k] && (s.writes[m] || s.writes[k])
+}
+
+// updateRaces grows backtrack sets from the executed trace with source sets.
+// A race is a DIRECT happens-before edge between events of different
+// processes: i in hb[j] but not covered by any intermediate event of hb[j]
+// (non-direct dependent pairs are reached inductively through the direct
+// ones — the classic DPOR race relation). For each race (i, j) the weak
+// initials of v = notdep(e_i)·e_j — the processes able to start an
+// execution from e_i's node that still reaches the race — are computed, and
+// ONE is scheduled at frame i, unless the frame's backtrack-or-done set
+// already intersects them (then the race is already covered).
+func (t *SourceDPOR) updateRaces(tr sched.Trace) {
+	L := len(tr)
+	if L > len(t.stack) {
+		L = len(t.stack)
+	}
+	if L < 2 {
+		return
+	}
+	s := &t.scratch
+	s.prepare(tr)
+	for j := 1; j < L; j++ {
+		if tr[j].Crash {
+			continue // crashes commute with every other-process event
+		}
+		hbj := s.row(s.hb, j)
+		cov := s.covered[:s.words]
+		for w := range cov {
+			cov[w] = 0
+		}
+		for w, word := range hbj {
+			for word != 0 {
+				m := w<<6 + trailingZeros(word)
+				word &= word - 1
+				rowOr(cov, s.row(s.hb, m))
+			}
+		}
+		for w := range hbj {
+			direct := hbj[w] &^ cov[w]
+			for direct != 0 {
+				i := w<<6 + trailingZeros(direct)
+				direct &= direct - 1
+				if tr[i].Pid != tr[j].Pid && !tr[i].Crash {
+					t.addSource(i, j, tr)
+				}
+			}
+		}
+	}
+}
+
+// addSource schedules one weak initial of v = notdep(i, tr)·tr[j] at frame
+// i. Events happening-after tr[i] are not in v — except tr[j] itself, which
+// is in v by construction.
+func (t *SourceDPOR) addSource(i, j int, tr sched.Trace) {
+	if t.rootPin != nil && i == 0 {
+		return // root choices are owned by the shard partition
+	}
+	f := &t.stack[i]
+	s := &t.scratch
+	inV := func(k int) bool { return k == j || !rowGet(s.row(s.hb, k), i) }
+	var initials uint64
+	for k := i + 1; k <= j; k++ {
+		if !inV(k) {
+			continue
+		}
+		// k is an initial of v iff no v-predecessor depends on it. Direct
+		// dependence suffices: a transitive chain into k has a direct last
+		// link, which cannot leave v (events outside v happen-after e_i, and
+		// anything after them would too).
+		first := true
+		for m := i + 1; m < k; m++ {
+			if inV(m) && s.depends(tr, m, k) {
+				first = false
+				break
+			}
+		}
+		if first {
+			initials |= 1 << uint(tr[k].Pid)
+		}
+	}
+	if initials == 0 {
+		panic(fmt.Sprintf("explore: race (%d,%d) with empty initials", i, j))
+	}
+	if (f.btStep|f.doneStep)&initials != 0 {
+		return // an initial is already scheduled or explored: race covered
+	}
+	if en := initials & f.enabled; en != 0 {
+		f.btStep |= en & (-en)
+	} else {
+		// No initial is enabled at the node (its first operation surfaces
+		// deeper): fall back to scheduling every enabled process — the sound
+		// over-approximation the stateless engine always uses.
+		f.btStep |= f.enabled
+	}
+}
+
+// trailingZeros is bits.TrailingZeros64 under a name that does not collide
+// with the package's math/bits import alias usage elsewhere.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// pickNext selects the next unexplored scheduled transition of f (steps
+// before crashes, ascending pid), marks it done, and installs it as
+// f.chosen. Shared with the stateless Tree engine.
+func pickNext(f *frame) bool {
+	if avail := f.btStep &^ f.doneStep; avail != 0 {
+		pid := bits.TrailingZeros64(avail)
+		f.doneStep |= 1 << uint(pid)
+		f.chosen = Choice{Pid: pid}
+		return true
+	}
+	if avail := f.btCrash &^ f.doneCrash; avail != 0 {
+		pid := bits.TrailingZeros64(avail)
+		f.doneCrash |= 1 << uint(pid)
+		f.chosen = Choice{Pid: pid, Crash: true}
+		return true
+	}
+	return false
+}

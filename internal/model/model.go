@@ -1,21 +1,39 @@
 // Package model is the exhaustive small-n model checker: for tiny
 // populations it walks the *complete* schedule-and-crash tree of an
-// algorithm under sleep-set pruning (explore.NewSleepSet, unbudgeted) and
-// checks every complete execution against the algorithm's invariant suite.
-// A run that finishes with Complete=true is a proof, not a sample: every
-// schedule the paper's asynchronous adversary can produce, and every crash
-// pattern up to the configured cap, has been covered up to reordering of
-// commuting grants — which the invariants (functions of the final state)
-// cannot distinguish anyway.
+// algorithm and checks every complete execution against the algorithm's
+// invariant suite. A run that finishes with Complete=true is a proof, not a
+// sample: every schedule the paper's asynchronous adversary can produce, and
+// every crash pattern up to the configured cap, has been covered up to
+// reordering of commuting grants — which the invariants (functions of the
+// final state) cannot distinguish anyway.
+//
+// Two engines walk the tree:
+//
+//   - EngineSourceDPOR (the default): the stateful search of
+//     explore.NewSourceDPOR — source-set partial-order reduction, state-hash
+//     dedup of revisited states, and checkpoint/restore instead of prefix
+//     replay. One instance is built for the whole search and rewound at
+//     every backtrack; Report.Replayed is zero by construction. Proofs are
+//     modulo the 128-bit state hash: merging two genuinely distinct states
+//     requires a collision in both independent channels.
+//
+//   - EngineSleepSet: the stateless exhaustive DFS of explore.NewSleepSet —
+//     fresh instance plus prefix replay per execution, no hashing anywhere.
+//     Slower and larger, kept as the hash-free cross-check.
+//
+// Workers > 1 shards the root decisions of the tree across goroutines
+// (explore.DriveParallel): each enabled first grant is searched as an
+// independent subtree over its own instance.
 //
 // This is the ROADMAP's "prove, don't sample" item: Explore samples the
-// adversary's space at every size, the model checker closes it at n <= 3,
+// adversary's space at every size, the model checker closes it at small n,
 // and internal/conformance records per algorithm which sizes are proven
 // versus sampled.
 package model
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/check"
@@ -23,6 +41,35 @@ import (
 	"repro/internal/sched"
 	"repro/internal/shmem"
 )
+
+// Engine selects the tree walker.
+type Engine int
+
+const (
+	// EngineSourceDPOR is the stateful source-set engine with state dedup
+	// and checkpoint/restore — the default.
+	EngineSourceDPOR Engine = iota
+	// EngineSleepSet is the stateless exhaustive sleep-set DFS (hash-free
+	// cross-check).
+	EngineSleepSet
+	// EngineDPOR is the stateless PR-3 all-pairs DPOR (schedule-only: it
+	// rejects crash branching). Kept as the reduction baseline the bench
+	// suite measures source sets against.
+	EngineDPOR
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSourceDPOR:
+		return "sourcedpor"
+	case EngineSleepSet:
+		return "sleepset"
+	case EngineDPOR:
+		return "dpor"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
 
 // Options tunes a model-checking run.
 type Options struct {
@@ -37,16 +84,31 @@ type Options struct {
 	// tree. A budgeted run that stops early reports Complete=false — it
 	// degrades to a systematic sample, never to a false proof.
 	Budget int
+	// Engine selects the walker; the zero value is EngineSourceDPOR.
+	Engine Engine
+	// Workers > 1 shards the root decisions across that many goroutines.
+	Workers int
+	// NoDedup disables state-hash dedup in the source-DPOR engine: a pure
+	// partial-order walk with no hashing anywhere in the proof. Dedup pays
+	// off on state-converging systems; on systems whose read histories never
+	// converge it is bookkeeping overhead, and benchmarks isolate its
+	// contribution with this switch.
+	NoDedup bool
 }
 
 // Report is the outcome of one model-checking run.
 type Report struct {
 	Label      string
 	N          int
+	Engine     Engine
+	Workers    int
 	Executions int  // complete executions checked
-	Partial    int  // redundant prefixes cut by sleep sets
+	Partial    int  // redundant prefixes cut by sleep sets or state dedup
 	Explored   int  // scheduling decisions executed
 	Pruned     int  // enabled choices skipped as commuting-equivalent
+	Replayed   int  // prefix grants re-executed (stateless engine only)
+	Restored   int  // checkpoint restores (stateful engine only)
+	Deduped    int  // nodes cut as already-explored states (stateful engine)
 	Complete   bool // the full tree was exhausted: the suite is proven at this n
 	Elapsed    time.Duration
 	// Violation is the first invariant failure, with the schedule that
@@ -77,8 +139,43 @@ func (r *Report) Summary() string {
 	} else if r.Complete {
 		verdict = "PROVEN"
 	}
-	return fmt.Sprintf("%s n=%d: %s — %d executions, %d pruned prefixes, %d decisions (%d pruned) in %v",
-		r.Label, r.N, verdict, r.Executions, r.Partial, r.Explored, r.Pruned, r.Elapsed.Round(time.Millisecond))
+	s := fmt.Sprintf("%s n=%d [%s", r.Label, r.N, r.Engine)
+	if r.Workers > 1 {
+		s += fmt.Sprintf(" x%d", r.Workers)
+	}
+	s += fmt.Sprintf("]: %s — %d executions, %d pruned prefixes, %d decisions (%d pruned", verdict, r.Executions, r.Partial, r.Explored, r.Pruned)
+	if r.Deduped > 0 {
+		s += fmt.Sprintf(", %d deduped", r.Deduped)
+	}
+	if r.Replayed > 0 {
+		s += fmt.Sprintf(", %d replayed", r.Replayed)
+	}
+	if r.Restored > 0 {
+		s += fmt.Sprintf(", %d restored", r.Restored)
+	}
+	return s + fmt.Sprintf(") in %v", r.Elapsed.Round(time.Millisecond))
+}
+
+// instance is one system under check: a fresh renamer with its per-pid
+// outcome capture. The stateful engine uses exactly one; the stateless
+// engine builds one per execution; the sharded parallel drive builds one per
+// root shard.
+type instance struct {
+	renamer check.Renamer
+	got     []int64
+	oks     []bool
+}
+
+func (in *instance) reset() {
+	for i := range in.got {
+		in.got[i], in.oks[i] = 0, false
+	}
+}
+
+func (in *instance) body() sched.Body {
+	return func(p *shmem.Proc) {
+		in.got[p.ID()], in.oks[p.ID()] = in.renamer.Rename(p, p.Name())
+	}
 }
 
 // Check walks the complete schedule-and-crash tree of the renamer built by
@@ -92,42 +189,101 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 			origs[i] = int64(i + 1)
 		}
 	}
-	rep := Report{Label: label, N: n}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	rep := Report{Label: label, N: n, Engine: opt.Engine, Workers: opt.Workers}
 	start := time.Now()
-	strat := explore.NewSleepSet(1, opt.Budget, opt.MaxCrashes)
-	got := make([]int64, n)
-	oks := make([]bool, n)
-	var renamer check.Renamer
-	stats := explore.Drive(strat, explore.Config{
-		N:     n,
-		Names: func(run int) []int64 { return origs },
-		Body: func(run int) sched.Body {
-			renamer = new()
-			for i := range got {
-				got[i], oks[i] = 0, false
+
+	var vmu sync.Mutex // parallel shards report violations concurrently
+	mkInstance := func() *instance {
+		return &instance{renamer: new(), got: make([]int64, n), oks: make([]bool, n)}
+	}
+	// checkRun validates one completed execution; shared by every drive
+	// shape. It must be called with the instance that ran it.
+	checkRun := func(in *instance, t sched.Trace, res sched.Result) *Violation {
+		var err error
+		if res.Err != nil {
+			err = fmt.Errorf("process panic: %w", res.Err)
+		} else {
+			err = suite.Check(check.NewRun(origs, in.got, in.oks, res, in.renamer.MaxName()))
+		}
+		if err != nil {
+			return &Violation{Err: err, Trace: t}
+		}
+		return nil
+	}
+	mkStrategy := func() explore.Strategy {
+		switch opt.Engine {
+		case EngineSleepSet:
+			return explore.NewSleepSet(1, opt.Budget, opt.MaxCrashes)
+		case EngineDPOR:
+			if opt.MaxCrashes > 0 {
+				panic("model: EngineDPOR is schedule-only (no crash branching)")
 			}
-			return func(p *shmem.Proc) {
-				got[p.ID()], oks[p.ID()] = renamer.Rename(p, p.Name())
+			return explore.NewDPOR(1, opt.Budget)
+		default:
+			s := explore.NewSourceDPOR(1, opt.Budget, opt.MaxCrashes)
+			if opt.NoDedup {
+				s.DisableDedup()
 			}
-		},
-		OnResult: func(run int, t sched.Trace, res sched.Result) bool {
-			var err error
-			if res.Err != nil {
-				err = fmt.Errorf("process panic: %w", res.Err)
-			} else {
-				err = suite.Check(check.NewRun(origs, got, oks, res, renamer.MaxName()))
-			}
-			if err != nil {
-				rep.Violation = &Violation{Err: err, Trace: t}
-				return false
-			}
-			return true
-		},
-	})
+			return s
+		}
+	}
+	configFor := func(in *instance, fresh func() *instance) explore.Config {
+		cur := in
+		return explore.Config{
+			N:     n,
+			Names: func(run int) []int64 { return origs },
+			Body: func(run int) sched.Body {
+				if run > 0 {
+					// Stateless engine: a fresh system per execution.
+					cur = fresh()
+				}
+				cur.reset()
+				return cur.body()
+			},
+			Reset: cur.reset, // stateful engine: same system, rewound
+			OnResult: func(run int, t sched.Trace, res sched.Result) bool {
+				if v := checkRun(cur, t, res); v != nil {
+					vmu.Lock()
+					if rep.Violation == nil {
+						rep.Violation = v
+					}
+					vmu.Unlock()
+					return false
+				}
+				return true
+			},
+		}
+	}
+
+	var stats explore.Stats
+	if opt.Workers > 1 {
+		stats = explore.DriveParallel(explore.ParallelSpec{
+			Workers:    opt.Workers,
+			N:          n,
+			MaxCrashes: opt.MaxCrashes,
+			Probe: func() explore.Config {
+				in := mkInstance()
+				return explore.Config{N: n, Names: func(int) []int64 { return origs }, Body: func(int) sched.Body { return in.body() }}
+			},
+			NewStrategy: mkStrategy,
+			Config: func(shard int) explore.Config {
+				in := mkInstance()
+				return configFor(in, mkInstance)
+			},
+		})
+	} else {
+		stats = explore.Drive(mkStrategy(), configFor(mkInstance(), mkInstance))
+	}
 	rep.Executions = stats.Executions
 	rep.Partial = stats.Partial
 	rep.Explored = stats.Explored
 	rep.Pruned = stats.Pruned
+	rep.Replayed = stats.Replayed
+	rep.Restored = stats.Restored
+	rep.Deduped = stats.Deduped
 	rep.Complete = stats.Complete && rep.Violation == nil
 	rep.Elapsed = time.Since(start)
 	return rep

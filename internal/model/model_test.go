@@ -102,6 +102,54 @@ func TestCheckCrashBranchingIsLarger(t *testing.T) {
 	}
 }
 
+// TestEnginesAgree: the stateful source-DPOR engine and the stateless
+// hash-free sleep-set engine must agree on verdicts — both find the planted
+// bug, both prove the correct fixture — across crash settings. This is the
+// cross-check that keeps the hashed engine honest.
+func TestEnginesAgree(t *testing.T) {
+	const n = 3
+	for _, crashes := range []int{0, n - 1} {
+		for _, engine := range []Engine{EngineSourceDPOR, EngineSleepSet} {
+			opt := Options{Engine: engine, MaxCrashes: crashes}
+			bad := Check("broken", func() check.Renamer { return &brokenRenamer{slots: make([]shmem.Reg, n)} },
+				n, nil, check.Suite{check.Exclusive(), check.Returned()}, opt)
+			if bad.Violation == nil {
+				t.Fatalf("%s crashes=%d missed the planted bug: %s", engine, crashes, bad.Summary())
+			}
+			good := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
+				n, nil, check.Basic(), opt)
+			if !good.Proven() {
+				t.Fatalf("%s crashes=%d failed to prove the fair fixture: %s", engine, crashes, good.Summary())
+			}
+		}
+	}
+}
+
+// TestCheckParallelWorkers: sharding the root decisions across workers must
+// preserve both verdicts — the proof (all shards complete) and the bug.
+func TestCheckParallelWorkers(t *testing.T) {
+	const n = 3
+	for _, engine := range []Engine{EngineSourceDPOR, EngineSleepSet} {
+		opt := Options{Engine: engine, MaxCrashes: n - 1, Workers: 4}
+		good := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
+			n, nil, check.Basic(), opt)
+		if !good.Proven() {
+			t.Fatalf("%s x4: sharded walk failed to prove: %s", engine, good.Summary())
+		}
+		seq := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
+			n, nil, check.Basic(), Options{Engine: engine, MaxCrashes: n - 1})
+		if good.Executions < seq.Executions {
+			t.Fatalf("%s x4: sharded walk ran %d executions, sequential %d — shards may not skip work",
+				engine, good.Executions, seq.Executions)
+		}
+		bad := Check("broken", func() check.Renamer { return &brokenRenamer{slots: make([]shmem.Reg, n)} },
+			n, nil, check.Suite{check.Exclusive(), check.Returned()}, opt)
+		if bad.Violation == nil {
+			t.Fatalf("%s x4: sharded walk missed the planted bug: %s", engine, bad.Summary())
+		}
+	}
+}
+
 // TestCheckBudgetDegradesToSample: a budget too small for the tree must
 // report Complete=false — never a false proof.
 func TestCheckBudgetDegradesToSample(t *testing.T) {

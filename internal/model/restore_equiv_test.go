@@ -1,0 +1,144 @@
+package model_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/xrand"
+)
+
+// TestRestoreEquivalentToReplay is the checkpoint/restore ground truth for
+// the real algorithms: over randomized traces of all six, restoring a
+// mid-execution snapshot must land bit-identically where (a) the same
+// controller stood at capture time — same StateHash, fingerprint, read logs
+// — and (b) where a fresh controller lands by ReplayTrace of the same
+// prefix: same observable reads, same pending intents, and a bit-identical
+// continuation (same schedule fingerprint, steps, and acquired names under
+// identical subsequent decisions).
+//
+// StateHash is additionally compared across the two controllers for the
+// algorithms built purely from scalar registers; the snapshot-based stages
+// of Efficient and Adaptive hash Ref contents by write stamp, which is
+// canonical within one controller only.
+func TestRestoreEquivalentToReplay(t *testing.T) {
+	scalarOnly := map[string]bool{"majority": true, "basic": true, "polylog": true, "almostadaptive": true}
+	for _, tc := range conformance.Cases() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				seed := uint64(trial+1) * 0x9e3779b9
+				runRestoreEquivalence(t, tc, 3, seed, scalarOnly[tc.Name])
+			}
+		})
+	}
+}
+
+// randDrive drives k random decisions (with an occasional crash) and leaves
+// the controller at a decision point. It mirrors the adversary's full power:
+// the prefix is an arbitrary schedule-and-crash pattern.
+func randDrive(c *sched.Controller, rng *xrand.Rand, k int, maxCrashes int) {
+	crashes := 0
+	for i := 0; i < k && c.PendingCount() > 0; i++ {
+		idx := rng.Intn(c.PendingCount())
+		pid := c.NextPending(-1)
+		for ; idx > 0; idx-- {
+			pid = c.NextPending(pid)
+		}
+		if crashes < maxCrashes && rng.Intn(10) == 0 {
+			c.Crash(pid)
+			crashes++
+			continue
+		}
+		c.Step(pid)
+	}
+}
+
+func runRestoreEquivalence(t *testing.T, tc conformance.Case, n int, seed uint64, compareHash bool) {
+	t.Helper()
+	origs := tc.Origs(n, seed)
+	mk := func() (*sched.Controller, []int64) {
+		r := tc.New(n, seed)
+		got := make([]int64, n)
+		c := sched.NewController(n, origs, func(p *shmem.Proc) {
+			got[p.ID()] = 0
+			name, ok := r.Rename(p, p.Name())
+			if ok {
+				got[p.ID()] = name
+			}
+		})
+		c.EnableState()
+		return c, got
+	}
+
+	// System 1: random prefix, checkpoint, divergent continuation, restore.
+	c1, got1 := mk()
+	rng := xrand.New(xrand.Mix(seed, 0x5eed))
+	randDrive(c1, rng, 2+int(seed%9), 1)
+	snap := c1.Checkpoint()
+	prefix := c1.Trace()
+	wantHash := c1.StateHash()
+	wantFP := c1.Fingerprint()
+	randDrive(c1, xrand.New(xrand.Mix(seed, 0xd1f)), 1<<20, n-1) // run the divergent branch to completion
+	c1.Restore(snap, nil)
+
+	if got := c1.StateHash(); got != wantHash {
+		t.Fatalf("seed %#x: restore hash %x != checkpoint hash %x", seed, got, wantHash)
+	}
+	if c1.Fingerprint() != wantFP {
+		t.Fatalf("seed %#x: restore fingerprint %#x != checkpoint %#x", seed, c1.Fingerprint(), wantFP)
+	}
+
+	// System 2: a fresh identical instance, prefix reconstructed by replay.
+	c2, got2 := mk()
+	if err := c2.ApplyTrace(prefix); err != nil {
+		t.Fatalf("seed %#x: replay: %v", seed, err)
+	}
+	if compareHash {
+		if h := c2.StateHash(); h != wantHash {
+			t.Fatalf("seed %#x: replayed controller hash %x != checkpoint hash %x", seed, h, wantHash)
+		}
+	}
+	if c2.Fingerprint() != wantFP {
+		t.Fatalf("seed %#x: replayed fingerprint %#x != %#x", seed, c2.Fingerprint(), wantFP)
+	}
+	// Observable reads: every process must have logged the identical word
+	// sequence (Ref reads compare as Ref reads; their pointers are
+	// per-instance).
+	for pid := 0; pid < n; pid++ {
+		p1, p2 := c1.Proc(pid), c2.Proc(pid)
+		if p1.Steps() != p2.Steps() || p1.ReadLogLen() != p2.ReadLogLen() {
+			t.Fatalf("seed %#x: proc %d position (%d steps, %d reads) != replay (%d, %d)",
+				seed, pid, p1.Steps(), p1.ReadLogLen(), p2.Steps(), p2.ReadLogLen())
+		}
+		for i := 0; i < p1.ReadLogLen(); i++ {
+			w1, ref1 := p1.ReadWord(i)
+			w2, ref2 := p2.ReadWord(i)
+			if ref1 != ref2 || (!ref1 && w1 != w2) {
+				t.Fatalf("seed %#x: proc %d read %d: restored (%d,%v) != replayed (%d,%v)", seed, pid, i, w1, ref1, w2, ref2)
+			}
+		}
+	}
+	// Identical continuations from both reconstructions must produce
+	// bit-identical executions: same grants accepted, same fingerprint, same
+	// steps, same acquired names.
+	finish := func(c *sched.Controller) sched.Result {
+		r := xrand.New(xrand.Mix(seed, 0xf1a1))
+		randDrive(c, r, 1<<20, n-1)
+		return c.Result()
+	}
+	res1, res2 := finish(c1), finish(c2)
+	if res1.Fingerprint != res2.Fingerprint {
+		t.Fatalf("seed %#x: continuation fingerprints diverge: %#x vs %#x", seed, res1.Fingerprint, res2.Fingerprint)
+	}
+	for pid := 0; pid < n; pid++ {
+		if res1.Steps[pid] != res2.Steps[pid] || res1.Crashed[pid] != res2.Crashed[pid] {
+			t.Fatalf("seed %#x: proc %d outcome (%d steps, crashed=%v) != (%d, %v)",
+				seed, pid, res1.Steps[pid], res1.Crashed[pid], res2.Steps[pid], res2.Crashed[pid])
+		}
+		if got1[pid] != got2[pid] {
+			t.Fatalf("seed %#x: proc %d acquired name %d after restore, %d after replay", seed, pid, got1[pid], got2[pid])
+		}
+	}
+}

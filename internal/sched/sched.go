@@ -117,9 +117,13 @@ type Controller struct {
 
 	pendBuf []int  // reused by Run for PendingInto
 	fp      uint64 // incremental schedule fingerprint (see Fingerprint)
+	grants  int64  // scheduling decisions executed (see Grants)
+	body    Body   // retained for Restore's respawn
 
 	tracing  bool         // record grants into traceBuf (see EnableTrace)
 	traceBuf []TraceEvent // the recorded grant sequence
+
+	st stateLayer // checkpoint/restore bookkeeping (see state.go)
 }
 
 // gate adapts the Controller to shmem.Gate for one process.
@@ -223,6 +227,7 @@ func NewController(n int, names []int64, body Body) *Controller {
 		err:    make([]error, n),
 		seats:  make([]seat, n),
 		pbits:  make([]uint64, (n+63)/64),
+		body:   body,
 	}
 	c.idle.L = &c.mu
 	for i := 0; i < n; i++ {
@@ -245,7 +250,8 @@ func (c *Controller) runProc(pid int, body Body) {
 	defer func() {
 		r := recover()
 		c.mu.Lock()
-		c.seats[pid].budget = 0 // surrender any unconsumed StepN grant
+		c.seats[pid].budget = 0    // surrender any unconsumed StepN grant
+		c.procs[pid].ClearReplay() // a finished catch-up leaves no stale cursor
 		switch r := r.(type) {
 		case nil:
 			c.phase[pid] = phaseDone
@@ -388,11 +394,11 @@ func (c *Controller) grant(pid, k int, crash bool) {
 	// (pid, posted operation kind, run length, crash bit) per grant uniquely
 	// identifies the interleaving for a fixed body. pid and k are mixed as
 	// separate words so no batch size can alias another pid's decision.
-	ev := uint64(k)<<8 | uint64(c.intent[pid].Kind)<<1
-	if crash {
-		ev |= 1
+	c.fp = foldGrant(c.fp, pid, k, c.intent[pid].Kind, crash)
+	c.grants++
+	if c.st.enabled {
+		c.stateBeforeGrant(pid, k, crash)
 	}
-	c.fp = xrand.Mix(xrand.Mix(c.fp+1, uint64(pid)), ev)
 	if c.tracing {
 		in := c.intent[pid]
 		c.traceBuf = append(c.traceBuf, TraceEvent{Pid: pid, Op: in.Kind, Reg: in.Reg, K: k, Crash: crash})
@@ -411,6 +417,9 @@ func (c *Controller) grant(pid, k int, crash bool) {
 	}
 	c.mu.Unlock()
 	c.waitQuiesce()
+	if c.st.enabled {
+		c.stateAfterGrant()
+	}
 }
 
 // Step grants one shared-memory operation to a pending process and returns

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/shmem"
+	"repro/internal/xrand"
 )
 
 // TraceEvent records one scheduler decision: which process was granted (or
@@ -51,6 +52,48 @@ func (e TraceEvent) String() string {
 
 // Trace is the grant sequence of one driven execution, in decision order.
 type Trace []TraceEvent
+
+// foldGrant mixes one scheduling decision into a schedule fingerprint:
+// (pid, posted operation kind, run length, crash bit) per grant uniquely
+// identifies the interleaving for a fixed body. pid and the event word are
+// mixed separately so no batch size can alias another pid's decision. It is
+// the single fingerprint definition shared by the controller's incremental
+// fold and Trace.Fingerprints.
+func foldGrant(fp uint64, pid, k int, kind shmem.OpKind, crash bool) uint64 {
+	ev := uint64(k)<<8 | uint64(kind)<<1
+	if crash {
+		ev |= 1
+	}
+	return xrand.Mix(xrand.Mix(fp+1, uint64(pid)), ev)
+}
+
+// Fingerprints returns the cumulative schedule fingerprint at every prefix
+// of the trace: out[i] is the fingerprint after events 0..i, so out[len-1]
+// equals the controller's Fingerprint for the full schedule. Prefix-based
+// coverage (explore.NewCoverageGuided) scores novelty with these: a schedule
+// whose first unseen fingerprint appears at depth d was novel from d on,
+// even if its full-schedule fingerprint had cousins.
+func (t Trace) Fingerprints() []uint64 {
+	out := make([]uint64, len(t))
+	t.EachFingerprint(func(i int, fp uint64) bool {
+		out[i] = fp
+		return true
+	})
+	return out
+}
+
+// EachFingerprint streams the cumulative prefix fingerprints to fn in depth
+// order, stopping early when fn returns false — the allocation-free form of
+// Fingerprints for consumers that usually stop within a few events.
+func (t Trace) EachFingerprint(fn func(depth int, fp uint64) bool) {
+	fp := uint64(0)
+	for i, e := range t {
+		fp = foldGrant(fp, e.Pid, e.K, e.Op, e.Crash)
+		if !fn(i, fp) {
+			return
+		}
+	}
+}
 
 // String renders the whole schedule on one line.
 func (t Trace) String() string {

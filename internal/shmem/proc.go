@@ -65,6 +65,12 @@ type Proc struct {
 	name  int64 // original name, a unique integer >= 1
 	steps int64 // local steps taken so far
 	gate  Gate  // nil means free-running (no scheduler)
+
+	// State-capture machinery (see state.go); inert unless EnableReadLog.
+	recording bool        // append counted reads to readLog
+	readLog   []readRec   // the values read so far, in program order
+	readHash  [2]uint64   // running hash of the read history (local-state id)
+	rp        replayState // catch-up cursor armed by LoadState
 }
 
 // NewProc returns a process handle with index id (0-based) and original name
@@ -93,8 +99,14 @@ func (p *Proc) AddSteps(n int64) { p.steps += n }
 // scheduler gate when one is attached. The nil check lives here, before the
 // Intent exists, so the free-running path never materializes an Intent: the
 // hot loop of RunFree is a step-counter increment plus the atomic register
-// access, with nothing escaping to the heap.
+// access, with nothing escaping to the heap. A process finishing catch-up
+// replay (LoadState) exits replay mode on its first post-target step: it
+// either re-raises its recorded crash or rejoins the gate exactly where the
+// captured process was blocked.
 func (p *Proc) step(kind OpKind, reg any) {
+	if p.rp.active {
+		p.exitReplay()
+	}
 	if g := p.gate; g != nil {
 		g.Step(p.id, Intent{Kind: kind, Reg: reg})
 	}
@@ -103,12 +115,32 @@ func (p *Proc) step(kind OpKind, reg any) {
 
 // Read performs a counted atomic read of a scalar register.
 func (p *Proc) Read(r *Reg) int64 {
+	if p.rp.active && p.steps < p.rp.target {
+		rec := p.replayRead()
+		if rec.isRef {
+			panic("shmem: replay log mismatch: Reg read where a Ref read was recorded")
+		}
+		return rec.word
+	}
 	p.step(OpRead, r)
-	return r.v.Load()
+	v := r.v.Load()
+	if p.recording {
+		p.record(readRec{word: v}, uint64(v))
+	}
+	return v
 }
 
-// Write performs a counted atomic write of a scalar register.
+// Write performs a counted atomic write of a scalar register. The version
+// counter is maintained only under state capture (its sole consumer): the
+// free-running hot path stays one atomic store.
 func (p *Proc) Write(r *Reg, v int64) {
+	if p.rp.active && p.steps < p.rp.target {
+		p.steps++ // memory is already restored; the write must not re-land
+		return
+	}
 	p.step(OpWrite, r)
 	r.v.Store(v)
+	if p.recording {
+		r.ver.Add(1)
+	}
 }
