@@ -167,7 +167,7 @@ func (o *Outcome) WorstCell() CellStats {
 // the run is clean).
 func runOnce(spec *Spec, fam Family, n int, seed uint64) (*check.Run, error) {
 	r := spec.New(n, seed)
-	run := check.Drive(r, n, spec.origsFor(n, seed), fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
+	run := check.DriveModel(r, n, spec.origsFor(n, seed), fam.Model, fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
 	if run.Res.Err != nil {
 		return run, fmt.Errorf("process panic: %w", run.Res.Err)
 	}
@@ -322,6 +322,7 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 	cellSeen := make(map[uint64]struct{}, spec.Runs)
 	stats := explore.Drive(strat, explore.Config{
 		N:     n,
+		Model: fam.Model,
 		Names: func(run int) []int64 { return capOf(run).origs },
 		Body: func(run int) sched.Body {
 			c := capOf(run)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sched"
+	"repro/internal/shmem"
 	"repro/internal/xrand"
 )
 
@@ -19,6 +20,12 @@ type Family struct {
 	// Plan builds the crash plan for one run; nil (or a func returning nil)
 	// injects no crashes.
 	Plan func(seed uint64, n int) sched.CrashPlan
+	// Model is the fault model the family's runs execute under. The zero
+	// value — atomic registers, fail-stop crashes — is the paper's model and
+	// what every family in All() uses; the FaultFamilies() entries open one
+	// capability each. Reproducer lines carry it (model=) so a pasted line
+	// re-creates the semantics, not just the schedule.
+	Model shmem.Model
 }
 
 // NewPolicy instantiates the family's policy for one run.
@@ -100,9 +107,50 @@ func All() []Family {
 	}
 }
 
-// ByName returns the shipped family with the given name.
+// FaultFamilies returns the shipped fault-model adversaries — the families
+// whose runs open a shmem.Model capability. They are deliberately NOT part of
+// All(): the paper's theorems are claims over atomic registers and fail-stop
+// crashes, so the default campaign (and the conformance acceptance sweep,
+// which asserts zero violations) must not silently run algorithms under
+// semantics they never claimed. Campaigns opt in via Spec.Families; ByName
+// resolves these names too, so their reproducer lines replay like any other.
+// Order is stable and part of the reproducer format:
+//
+//	staleread    safe registers: random scheduling + seeded stale/junk reads
+//	crashrestart crash-recovery: random crashes, seeded restart quota + delay
+//	opdelay      op-level latency: one seeded pending op held for k grants
+func FaultFamilies() []Family {
+	return []Family{
+		{
+			Name:   "staleread",
+			Policy: func(seed uint64, n int) sched.Policy { return NewStaleReader(seed) },
+			Model:  shmem.Model{Regs: shmem.RegSafe},
+		},
+		{
+			Name:   "crashrestart",
+			Policy: func(seed uint64, n int) sched.Policy { return sched.NewRandom(seed) },
+			Plan: func(seed uint64, n int) sched.CrashPlan {
+				return NewRestarter(xrand.Mix(seed, 0xc4a56), n, 0.1, n)
+			},
+			Model: shmem.Model{Recovery: true},
+		},
+		{
+			Name:   "opdelay",
+			Policy: func(seed uint64, n int) sched.Policy { return NewOpDelayer(seed, n) },
+			Model:  shmem.Model{OpDelay: true},
+		},
+	}
+}
+
+// ByName returns the shipped family with the given name, searching All()
+// then FaultFamilies().
 func ByName(name string) (Family, error) {
 	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	for _, f := range FaultFamilies() {
 		if f.Name == name {
 			return f, nil
 		}
@@ -112,7 +160,8 @@ func ByName(name string) (Family, error) {
 
 // CrashFree reports whether the named shipped family never injects crashes
 // (harnesses use it to decide whether crash-sensitive liveness checkers
-// apply).
+// apply). Recovery families inject crashes even though processes may return:
+// a restart is observably a crash plus a rerun.
 func CrashFree(name string) bool {
 	f, err := ByName(name)
 	return err == nil && f.Plan == nil

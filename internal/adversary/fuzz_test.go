@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/compete"
 	"repro/internal/core"
 )
 
@@ -17,6 +18,13 @@ import (
 // job exercises every code path of the exploration engine, not just the
 // seeded one. The invariants asserted are the unconditional ones — exclusiveness
 // and full accounting — which no schedule or crash pattern may violate.
+//
+// famIdx beyond All() selects a FaultFamilies() entry, arming the fault
+// model: safe registers, crash-recovery, or op-level delays. Those runs
+// drive the firstfit fixture (built for non-vacuous fault trees; its reads
+// never index memory, so junk values cannot panic it) and assert only full
+// accounting — exclusiveness is exactly what weak semantics are expected to
+// break, and the committed conformance reproducer already witnesses that.
 func FuzzRenameSchedule(f *testing.F) {
 	f.Add(uint64(1), 0, 0, 2, 0)
 	f.Add(uint64(42), 1, 3, 5, 0)
@@ -30,11 +38,19 @@ func FuzzRenameSchedule(f *testing.F) {
 	f.Add(uint64(0xc07), 0, 5, 3, 3)
 	f.Add(uint64(0xc08), 2, 2, 4, 3)
 	f.Add(uint64(0xc0b), 1, 5, 3, 4)
+	// Fault-model arms: staleread (8), crashrestart (9), opdelay (10),
+	// across the seeded, tree and mutation strategies.
+	f.Add(uint64(0xfa01), 0, 8, 3, 0)
+	f.Add(uint64(0xfa02), 0, 9, 3, 0)
+	f.Add(uint64(0xfa03), 0, 10, 4, 0)
+	f.Add(uint64(0xfa04), 0, 8, 3, 3)
+	f.Add(uint64(0xfa05), 0, 9, 2, 3)
+	f.Add(uint64(0xfa06), 0, 10, 3, 4)
 	f.Fuzz(func(t *testing.T, seed uint64, algoIdx, famIdx, n, stratIdx int) {
 		// Clamp through unsigned arithmetic: negating math.MinInt overflows
 		// back to itself, so a signed abs-then-mod can stay negative.
 		n = 1 + int(uint(n)%8)
-		fams := All()
+		fams := append(All(), FaultFamilies()...)
 		fam := fams[uint(famIdx)%uint(len(fams))]
 		cfg := core.Config{Seed: seed | 1} // 0 would silently fall back to the default seed
 		mk := func(n int, seed uint64) check.Renamer {
@@ -52,12 +68,16 @@ func FuzzRenameSchedule(f *testing.F) {
 			}
 		}
 		suite := check.Suite{check.Exclusive(), check.Returned()}
+		if !fam.Model.Atomic() {
+			mk = func(n int, seed uint64) check.Renamer { return compete.NewFirstFit(n) }
+			suite = check.Suite{check.Returned()}
+		}
 		var maker StrategyMaker
 		switch uint(stratIdx) % 5 {
 		case 0:
 			// The original direct path: one seeded driven run.
 			r := mk(n, seed)
-			run := check.Drive(r, n, nil, fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
+			run := check.DriveModel(r, n, nil, fam.Model, fam.NewPolicy(seed, n), fam.NewPlan(seed, n))
 			if run.Res.Err != nil {
 				t.Fatalf("process panic under %s n=%d seed=%#x: %v", fam.Name, n, seed, run.Res.Err)
 			}

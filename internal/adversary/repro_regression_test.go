@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/compete"
+	"repro/internal/shmem"
 )
 
 // pastedReproducerLine is a shrunk reproducer exactly as Explore printed it
@@ -47,5 +49,143 @@ func TestPastedReproducerRegression(t *testing.T) {
 	other := Spec{Label: "fair", New: func(n int, seed uint64) check.Renamer { return newFair(n) }}
 	if err := Replay(&other, rep); err == nil || !strings.Contains(err.Error(), "label") && !strings.Contains(err.Error(), "algo") {
 		t.Fatalf("label mismatch not rejected: %v", err)
+	}
+}
+
+// pastedStaleReadLine is the shrunk reproducer Explore printed for the
+// first-fit renamer's exclusiveness violation under safe registers — found
+// and shrunk by the staleread family, copied verbatim. It is the committed
+// witness behind the conformance table's expected-violation cell: under safe
+// semantics a competitor's confirming re-read can return junk or a
+// pre-overwrite value, so the Figure 1 competition's Lemma 1 argument (which
+// needs atomic reads) no longer excludes double wins. The model= field makes
+// the line self-describing: replay re-creates the semantics, not just the
+// schedule.
+const pastedStaleReadLine = "adversary:algo=firstfit family=staleread n=3 seed=0xaf38f44c27694ce4 model=safe"
+
+func firstfitSpec() Spec {
+	return Spec{
+		Label: "firstfit",
+		New:   func(n int, seed uint64) check.Renamer { return compete.NewFirstFit(n) },
+	}
+}
+
+// TestPastedStaleReadRegression replays the committed weak-register
+// reproducer: parse must recover the safe-register model from the line, and
+// replay must deterministically re-trigger the exclusiveness violation.
+func TestPastedStaleReadRegression(t *testing.T) {
+	rep, err := Parse(pastedStaleReadLine)
+	if err != nil {
+		t.Fatalf("pasted line does not parse: %v", err)
+	}
+	if rep.Family != "staleread" || rep.N != 3 || rep.Model.Regs != shmem.RegSafe {
+		t.Fatalf("pasted line parsed into the wrong spec: %+v", rep)
+	}
+	spec := firstfitSpec()
+	verr := Replay(&spec, rep)
+	if verr == nil {
+		t.Fatalf("pasted reproducer %s no longer reproduces", pastedStaleReadLine)
+	}
+	if !strings.Contains(verr.Error(), "exclusive") {
+		t.Fatalf("replayed failure is not the exclusiveness violation: %v", verr)
+	}
+	verr2 := Replay(&spec, rep)
+	if verr2 == nil || verr2.Error() != verr.Error() {
+		t.Fatalf("replay is not deterministic: %v vs %v", verr, verr2)
+	}
+	// A line without the model= field falls back to the family's own model
+	// (safe, for staleread), so lines logged before the field existed — or
+	// hand-trimmed ones — replay identically.
+	trimmed := strings.Replace(pastedStaleReadLine, " model=safe", "", 1)
+	trimmedRep, err := Parse(trimmed)
+	if err != nil {
+		t.Fatalf("trimmed line does not parse: %v", err)
+	}
+	if !trimmedRep.Model.Atomic() {
+		t.Fatalf("trimmed line still carries a model: %+v", trimmedRep)
+	}
+	if verr := Replay(&spec, trimmedRep); verr == nil || verr.Error() != verr2.Error() {
+		t.Fatalf("family-default replay diverged: %v vs %v", verr, verr2)
+	}
+}
+
+// pastedRecoveryLine is a crash-recovery failure line for the planted-bug
+// fixture, with an explicit restart budget: restarts=1 pins
+// Model.MaxRestarts, which model= deliberately omits. The violating run
+// contains a real restart (a process loses its local state, reruns, and the
+// planted claim-without-confirmation bug collides with the survivor's
+// claim), so the line regression-covers the whole recovery pipeline:
+// parse -> budget override -> crash -> restart -> catch-up rerun -> violation.
+const pastedRecoveryLine = "adversary:algo=broken family=crashrestart n=3 seed=0x2 model=recovery restarts=1"
+
+// TestPastedRecoveryRegression replays the committed crash-recovery
+// reproducer end to end.
+func TestPastedRecoveryRegression(t *testing.T) {
+	rep, err := Parse(pastedRecoveryLine)
+	if err != nil {
+		t.Fatalf("pasted line does not parse: %v", err)
+	}
+	if rep.Family != "crashrestart" || !rep.Model.Recovery || rep.Restarts != 1 {
+		t.Fatalf("pasted line parsed into the wrong spec: %+v", rep)
+	}
+	spec := brokenSpec()
+	verr := Replay(&spec, rep)
+	if verr == nil {
+		t.Fatalf("pasted reproducer %s no longer reproduces", pastedRecoveryLine)
+	}
+	if !strings.Contains(verr.Error(), "exclusive") {
+		t.Fatalf("replayed failure is not the exclusiveness violation: %v", verr)
+	}
+	verr2 := Replay(&spec, rep)
+	if verr2 == nil || verr2.Error() != verr.Error() {
+		t.Fatalf("replay is not deterministic: %v vs %v", verr, verr2)
+	}
+	// The violating run must actually restart someone — the line is a
+	// recovery witness, not a fail-stop failure that happens to parse.
+	sp := spec
+	sp.normalize()
+	fam, ferr := ByName(rep.Family)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	fam.Model = rep.Model
+	fam.Model.MaxRestarts = rep.Restarts
+	run, rerr := runOnce(&sp, fam, rep.N, rep.Seed)
+	if rerr == nil {
+		t.Fatal("direct rerun is clean")
+	}
+	restarts := 0
+	for _, r := range run.Res.Restarts {
+		restarts += r
+	}
+	if restarts == 0 {
+		t.Fatal("violating run contains no restart")
+	}
+}
+
+// TestReproducerModelRoundTrip pins the extended line format: model= and
+// restarts= render only when non-default, and both directions of the
+// round-trip preserve them. Old-format lines (no model fields) must keep
+// parsing — the CI-log compatibility promise.
+func TestReproducerModelRoundTrip(t *testing.T) {
+	cases := []Reproducer{
+		{Label: "a", Family: "random", N: 2, Seed: 0x1},
+		{Label: "a", Family: "staleread", N: 3, Seed: 0x2, Model: shmem.Model{Regs: shmem.RegRegular}},
+		{Label: "a", Family: "crashrestart", N: 4, Seed: 0x3,
+			Model: shmem.Model{Regs: shmem.RegSafe, Recovery: true}, Restarts: 2},
+		{Label: "a", Family: "opdelay", N: 2, Seed: 0x4, Model: shmem.Model{OpDelay: true}},
+	}
+	for _, want := range cases {
+		line := want.String()
+		got, err := Parse(line)
+		if err != nil {
+			t.Fatalf("%q does not parse: %v", line, err)
+		}
+		if got != want {
+			t.Fatalf("round-trip mismatch: %+v -> %q -> %+v", want, line, got)
+		}
+	}
+	if s := cases[0].String(); strings.Contains(s, "model=") || strings.Contains(s, "restarts=") {
+		t.Fatalf("atomic default leaked into the line: %q", s)
 	}
 }

@@ -4,18 +4,30 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/shmem"
 )
 
 // Reproducer is a minimal, fully deterministic recipe for re-triggering a
 // violation: the algorithm label, adversary family, population size and run
-// seed. Its String form is a one-line spec that Parse round-trips, so a
-// failing exploration can be pasted straight into a regression test or
-// replayed from a shell log.
+// seed — plus, for fault-model families, the model the run executed under.
+// Its String form is a one-line spec that Parse round-trips, so a failing
+// exploration can be pasted straight into a regression test or replayed from
+// a shell log.
 type Reproducer struct {
 	Label  string
 	Family string
 	N      int
 	Seed   uint64
+	// Model is the fault model the run executes under. The zero value (the
+	// atomic default) is omitted from the line, so pre-fault-model lines
+	// render and parse unchanged. A non-zero Model overrides the family's
+	// own at replay — the line, not the library, is authoritative.
+	Model shmem.Model
+	// Restarts, when positive, pins the execution's total restart budget
+	// (shmem.Model.MaxRestarts, which Model.String deliberately omits).
+	// 0 means the model default: the population size, under recovery.
+	Restarts int
 	// Err is the violation the reproducer triggers (informational; not part
 	// of the parsed form).
 	Err error `json:"-"`
@@ -24,8 +36,19 @@ type Reproducer struct {
 // String renders the one-line replayable spec, e.g.
 //
 //	adversary:algo=broken family=random n=2 seed=0x9e3779b97f4a7c15
+//	adversary:algo=firstfit family=staleread n=3 seed=0x1 model=safe
+//
+// The model= and restarts= fields appear only when non-default, so lines
+// from before the fault-model knob render byte-identically.
 func (r Reproducer) String() string {
-	return fmt.Sprintf("adversary:algo=%s family=%s n=%d seed=%#x", r.Label, r.Family, r.N, r.Seed)
+	s := fmt.Sprintf("adversary:algo=%s family=%s n=%d seed=%#x", r.Label, r.Family, r.N, r.Seed)
+	if !r.Model.Atomic() {
+		s += " model=" + r.Model.String()
+	}
+	if r.Restarts > 0 {
+		s += fmt.Sprintf(" restarts=%d", r.Restarts)
+	}
+	return s
 }
 
 // Parse reads a one-line spec produced by String.
@@ -58,6 +81,18 @@ func Parse(line string) (Reproducer, error) {
 				return rep, fmt.Errorf("adversary: bad seed in spec %q", line)
 			}
 			rep.Seed = seed
+		case "model":
+			m, err := shmem.ParseModel(val)
+			if err != nil {
+				return rep, fmt.Errorf("adversary: bad model in spec %q: %v", line, err)
+			}
+			rep.Model = m
+		case "restarts":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 0 {
+				return rep, fmt.Errorf("adversary: bad restarts in spec %q", line)
+			}
+			rep.Restarts = r
 		default:
 			return rep, fmt.Errorf("adversary: unknown field %q in spec %q", key, line)
 		}
@@ -82,6 +117,16 @@ func Replay(spec *Spec, rep Reproducer) error {
 	fam, err := ByName(rep.Family)
 	if err != nil {
 		return err
+	}
+	// The line's own fault model wins over the family's: a reproducer must
+	// replay the semantics it was found under even if the library's family
+	// definition later changes.
+	if !rep.Model.Atomic() {
+		fam.Model = rep.Model
+	}
+	if rep.Restarts > 0 {
+		fam.Model.Recovery = true
+		fam.Model.MaxRestarts = rep.Restarts
 	}
 	_, verr := runOnce(&sp, fam, rep.N, rep.Seed)
 	return verr
@@ -133,6 +178,9 @@ func Shrink(spec *Spec, v Violation) Reproducer {
 			break
 		}
 	}
+	// Stamp the surviving family's fault model so the line replays the
+	// semantics, not just the schedule (String omits the atomic default).
+	best.Model = fam.Model
 	return best
 }
 

@@ -238,6 +238,14 @@ func Basic() Suite {
 // An unexpected process panic is surfaced in Run.Res.Err; callers must treat
 // a non-nil Err as a failure before reading the rest of the record.
 func Drive(r Renamer, k int, origs []int64, policy sched.Policy, plan sched.CrashPlan) *Run {
+	return DriveModel(r, k, origs, shmem.Model{}, policy, plan)
+}
+
+// DriveModel is Drive under an explicit fault model (see shmem.Model): weak
+// register reads consult the policy's sched.StalePolicy extension, and under
+// a recovery model the plan's sched.RestartPlan extension is offered every
+// crashed process. The zero model makes it identical to Drive.
+func DriveModel(r Renamer, k int, origs []int64, m shmem.Model, policy sched.Policy, plan sched.CrashPlan) *Run {
 	if origs == nil {
 		origs = make([]int64, k)
 		for i := range origs {
@@ -246,7 +254,7 @@ func Drive(r Renamer, k int, origs []int64, policy sched.Policy, plan sched.Cras
 	}
 	got := make([]int64, k)
 	oks := make([]bool, k)
-	res := sched.Run(k, origs, policy, plan, func(p *shmem.Proc) {
+	res := sched.RunModel(k, origs, m, policy, plan, func(p *shmem.Proc) {
 		got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
 	})
 	return NewRun(origs, got, oks, res, r.MaxName())

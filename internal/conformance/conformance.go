@@ -16,7 +16,9 @@ package conformance
 
 import (
 	"repro/internal/check"
+	"repro/internal/compete"
 	"repro/internal/core"
+	"repro/internal/shmem"
 	"repro/internal/xrand"
 )
 
@@ -48,6 +50,17 @@ type Case struct {
 	// state dedup, and stop at n=2 (now with full crash branching) — see the
 	// ROADMAP's compositional-proof item for the measured wall.
 	Proven []ModelCell
+	// Fault lists the fault-model columns: cells the model checker exhausts
+	// under a non-default shmem.Model (weak registers, crash-recovery). A
+	// cell without ExpectViolation must prove clean; a cell with it is an
+	// expected-violation cell — the model is strictly outside the claim the
+	// algorithm makes, the checker must find the named violation, and Repro
+	// is the committed shrunk adversary reproducer line witnessing it.
+	// Fault-model proofs for the Section 3 algorithms at small n are largely
+	// vacuous (their small-population instances place contenders on disjoint
+	// competition neighborhoods, so the weak-register tree collapses to the
+	// atomic one); the firstfit fixture exists to make them non-vacuous.
+	Fault []FaultCell
 }
 
 // ModelCell is one population the model checker exhausts for a case, with
@@ -56,6 +69,21 @@ type Case struct {
 type ModelCell struct {
 	N          int
 	MaxCrashes int
+}
+
+// FaultCell is one (model, population, crash-cap) cell of a case's
+// fault-model columns.
+type FaultCell struct {
+	Model      shmem.Model
+	N          int
+	MaxCrashes int
+	// ExpectViolation, when non-empty, is a substring of the violation the
+	// model checker must report for this cell (empty = the cell proves
+	// clean).
+	ExpectViolation string
+	// Repro is the committed shrunk reproducer line (adversary.Parse format)
+	// that replays the expected violation; only set with ExpectViolation.
+	Repro string
 }
 
 // ProvenNs lists the populations with at least one proven cell, for reports
@@ -88,13 +116,19 @@ func origsFrom(rangeN int) func(n int, seed uint64) []int64 {
 // per-process bound for at practical scale.
 func noBound(n int) int64 { return 0 }
 
-// Cases returns the table: all six Section 3 algorithms in paper order.
-// Bounds are seed-independent, so probes are built with a fixed seed.
+// Cases returns the table: all six Section 3 algorithms in paper order,
+// plus the firstfit fault-model fixture. Bounds are seed-independent, so
+// probes are built with a fixed seed.
 func Cases() []Case {
 	return []Case{
 		{
-			Name:      "majority",
-			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}, {N: 4, MaxCrashes: 3}, {N: 5, MaxCrashes: 4}},
+			Name:   "majority",
+			Proven: []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}, {N: 4, MaxCrashes: 3}, {N: 5, MaxCrashes: 4}},
+			Fault: []FaultCell{
+				{Model: shmem.Model{Regs: shmem.RegRegular}, N: 3, MaxCrashes: 2},
+				{Model: shmem.Model{Regs: shmem.RegSafe}, N: 3, MaxCrashes: 2},
+				{Model: shmem.Model{Recovery: true}, N: 3, MaxCrashes: 2},
+			},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewMajority(n, Names, core.Config{Seed: seed}) },
 			Origs:     origsFrom(Names),
 			StepBound: func(n int) int64 { return core.NewMajority(n, Names, core.Config{Seed: 1}).MaxSteps() },
@@ -110,8 +144,12 @@ func Cases() []Case {
 			},
 		},
 		{
-			Name:      "basic",
-			Proven:    []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}, {N: 4, MaxCrashes: 3}, {N: 5, MaxCrashes: 4}},
+			Name:   "basic",
+			Proven: []ModelCell{{N: 2, MaxCrashes: 1}, {N: 3, MaxCrashes: 2}, {N: 4, MaxCrashes: 3}, {N: 5, MaxCrashes: 4}},
+			Fault: []FaultCell{
+				{Model: shmem.Model{Regs: shmem.RegSafe}, N: 3, MaxCrashes: 2},
+				{Model: shmem.Model{Recovery: true}, N: 3, MaxCrashes: 2},
+			},
 			New:       func(n int, seed uint64) check.Renamer { return core.NewBasic(n, Names, core.Config{Seed: seed}) },
 			Origs:     origsFrom(Names),
 			StepBound: func(n int) int64 { return core.NewBasic(n, Names, core.Config{Seed: 1}).MaxSteps() },
@@ -192,5 +230,46 @@ func Cases() []Case {
 				}
 			},
 		},
+		{
+			// firstfit is not a Section 3 algorithm: it is the fault-model
+			// showcase — a deliberately unbalanced first-fit scan over the
+			// Figure 1 competition in which every contender starts on pair 0,
+			// so register contention (and with it a non-vacuous weak-register
+			// tree) is guaranteed at n >= 2. Its suite is accounting only
+			// (exclusiveness, name range, returned): under contention the
+			// adversary can burn every pair, so no liveness is claimed. The
+			// safe-register n=3 cell is the table's expected-violation entry:
+			// safe semantics break the Lemma 1 confirming re-read, the model
+			// checker finds the double win in milliseconds, and the committed
+			// reproducer line replays it through the adversary layer.
+			Name:   "firstfit",
+			Proven: []ModelCell{{N: 2, MaxCrashes: 1}},
+			Fault: []FaultCell{
+				{Model: shmem.Model{Regs: shmem.RegRegular}, N: 2, MaxCrashes: 1},
+				{Model: shmem.Model{Regs: shmem.RegSafe}, N: 2, MaxCrashes: 1},
+				{Model: shmem.Model{Recovery: true}, N: 2, MaxCrashes: 1},
+				{Model: shmem.Model{Regs: shmem.RegSafe, Recovery: true}, N: 2, MaxCrashes: 1},
+				{Model: shmem.Model{Regs: shmem.RegSafe}, N: 3, MaxCrashes: 0,
+					ExpectViolation: "exclusive",
+					Repro:           "adversary:algo=firstfit family=staleread n=3 seed=0xaf38f44c27694ce4 model=safe"},
+			},
+			New:   func(n int, seed uint64) check.Renamer { return compete.NewFirstFit(n) },
+			Origs: identityOrigs,
+			Suite: func(n int, family string) check.Suite {
+				return check.Basic()
+			},
+			StepBound: noBound,
+		},
 	}
+}
+
+// identityOrigs assigns original names 1..n: the firstfit fixture's model
+// cells and its committed reproducer lines must agree on the instance, and
+// pids are the stable choice.
+func identityOrigs(n int, seed uint64) []int64 {
+	names := make([]int64, n)
+	for i := range names {
+		names[i] = int64(i + 1)
+	}
+	return names
 }

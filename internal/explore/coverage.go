@@ -102,20 +102,8 @@ func (cg *CoverageGuided) Next(c *sched.Controller) Choice {
 		cg.policy, cg.plan = cg.cfgs[cg.cur.cfg].Mk(cg.cur.seed)
 		cg.started = true
 	}
-	var pid int
-	if ip, ok := cg.policy.(sched.IterPolicy); ok {
-		pid = ip.NextIter(c)
-	} else {
-		if cap(cg.pendBuf) < c.N() {
-			cg.pendBuf = make([]int, 0, c.N())
-		}
-		pid = cg.policy.Next(c, c.PendingInto(cg.pendBuf))
-	}
 	cg.stats.Explored++
-	if cg.plan != nil && cg.plan.ShouldCrash(pid, c.Proc(pid).Steps(), c.Intent(pid)) {
-		return Choice{Pid: pid, Crash: true}
-	}
-	return Choice{Pid: pid}
+	return policyChoice(c, cg.policy, cg.plan, &cg.pendBuf)
 }
 
 // Backtrack implements Strategy: bank the genome (with its first-novelty

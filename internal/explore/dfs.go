@@ -58,16 +58,34 @@ type frame struct {
 	btCrash       uint64       // crash choices scheduled for exploration
 	sleep         []sleepEntry // sleep set at node entry
 	crashesBefore int
+
+	// Fault-model branching (zero under the default model). restartable is
+	// the crashed-with-budget mask at node entry; restart choices mirror the
+	// crash masks. haltBt/haltDone schedule the Halt branch of a node with no
+	// pending process but restartable ones — stopping there is itself an
+	// adversary decision. staleN[pid] counts the stale alternatives of pid's
+	// pending read at node entry and varCur[pid] the next variant to run
+	// (0 = fresh); a pid's doneStep bit is set only after its last variant,
+	// so weak-register reads branch StaleCount+1 ways.
+	restartable uint64
+	btRestart   uint64
+	doneRestart uint64
+	haltBt      bool
+	haltDone    bool
+	staleN      []uint8
+	varCur      []uint8
 }
 
-// sleepEntry is one sleeping transition. Its process is necessarily still
-// pending wherever the entry is alive (a sleeping process never steps, and a
-// dependent grant would have evicted the entry), so the posted intent can be
-// refreshed from the live controller on every replay.
+// sleepEntry is one sleeping transition. A step or crash entry's process is
+// necessarily still pending wherever the entry is alive (a sleeping process
+// never steps, and a dependent grant would have evicted the entry), so the
+// posted intent can be refreshed from the live controller on every replay. A
+// restart entry's process is crashed and carries no intent.
 type sleepEntry struct {
-	pid   int
-	crash bool
-	in    shmem.Intent
+	pid     int
+	crash   bool
+	restart bool
+	in      shmem.Intent
 }
 
 // NewDPOR returns the dynamic partial-order reduction strategy: backtrack
@@ -110,15 +128,24 @@ func (t *Tree) Stats() Stats { return t.stats }
 func (t *Tree) Next(c *sched.Controller) Choice {
 	if t.pos < len(t.stack) {
 		f := &t.stack[t.pos]
-		if c.NextPending(f.chosen.Pid-1) != f.chosen.Pid {
+		if f.chosen.Restart {
+			if !c.CanRestart(f.chosen.Pid) {
+				panic(fmt.Sprintf("explore: replay diverged at depth %d: process %d not restartable (non-deterministic body?)", t.pos, f.chosen.Pid))
+			}
+		} else if c.NextPending(f.chosen.Pid-1) != f.chosen.Pid {
 			panic(fmt.Sprintf("explore: replay diverged at depth %d: process %d not pending (non-deterministic body?)", t.pos, f.chosen.Pid))
 		}
 		// Refresh the intents captured in this frame: register identities are
 		// owned by the per-execution instance, so independence checks must
-		// always compare this execution's pointers.
-		f.chosenIn = c.Intent(f.chosen.Pid)
+		// always compare this execution's pointers. Restart choices and
+		// entries carry no intent (their process is crashed).
+		if !f.chosen.Restart {
+			f.chosenIn = c.Intent(f.chosen.Pid)
+		}
 		for i := range f.sleep {
-			f.sleep[i].in = c.Intent(f.sleep[i].pid)
+			if !f.sleep[i].restart {
+				f.sleep[i].in = c.Intent(f.sleep[i].pid)
+			}
 		}
 		t.pos++
 		// The final committed frame always carries the choice Backtrack just
@@ -139,10 +166,18 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 		}
 		f.sleep = childSleep(c, parent)
 	}
+	faultOpen(c, &f)
 	// Sleeping transitions are pre-marked done: exploring one would re-derive
 	// a schedule already covered under an earlier sibling.
 	for _, e := range f.sleep {
 		bit := uint64(1) << uint(e.pid)
+		if e.restart {
+			if f.restartable&bit != 0 && f.doneRestart&bit == 0 {
+				f.doneRestart |= bit
+				t.stats.Pruned++
+			}
+			continue
+		}
 		if f.enabled&bit == 0 {
 			continue
 		}
@@ -159,9 +194,14 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 	switch {
 	case t.rootPin != nil && t.pos == 0:
 		bit := uint64(1) << uint(t.rootPin.Pid)
-		if t.rootPin.Crash {
+		f.btStep, f.btCrash, f.btRestart = 0, 0, 0
+		f.haltBt = false
+		switch {
+		case t.rootPin.Restart:
+			f.btRestart = bit & f.restartable
+		case t.rootPin.Crash:
 			f.btCrash = bit & f.enabled
-		} else {
+		default:
 			f.btStep = bit & f.enabled
 		}
 	case t.dpor:
@@ -184,7 +224,9 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 	}
 	// Capture the chosen transition's posted op now: childSleep of the next
 	// frontier node needs it, and replay only refreshes committed frames.
-	f.chosenIn = c.Intent(f.chosen.Pid)
+	if !f.chosen.Restart && f.chosen.Pid >= 0 {
+		f.chosenIn = c.Intent(f.chosen.Pid)
+	}
 	t.stack = append(t.stack, f)
 	t.pos++
 	t.stats.Explored++
@@ -198,16 +240,23 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 // their posted intents are live on the controller.
 func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
 	ch, chIn := parent.chosen, parent.chosenIn
+	chFault := ch.Crash || ch.Restart
 	var out []sleepEntry
-	seen := struct{ step, crash uint64 }{}
+	seen := struct{ step, crash, restart uint64 }{}
 	add := func(e sleepEntry) {
 		bit := uint64(1) << uint(e.pid)
-		if e.crash {
+		switch {
+		case e.restart:
+			if seen.restart&bit != 0 {
+				return
+			}
+			seen.restart |= bit
+		case e.crash:
 			if seen.crash&bit != 0 {
 				return
 			}
 			seen.crash |= bit
-		} else {
+		default:
 			if seen.step&bit != 0 {
 				return
 			}
@@ -216,7 +265,7 @@ func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
 		out = append(out, e)
 	}
 	for _, e := range parent.sleep {
-		if independent(e.pid, e.crash, e.in, ch.Pid, ch.Crash, chIn) {
+		if independent(e.pid, e.crash || e.restart, e.in, ch.Pid, chFault, chIn) {
 			add(e)
 		}
 	}
@@ -226,7 +275,7 @@ func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
 			continue // the chosen transition itself, or its same-pid sibling
 		}
 		in := c.Intent(pid)
-		if independent(pid, false, in, ch.Pid, ch.Crash, chIn) {
+		if independent(pid, false, in, ch.Pid, chFault, chIn) {
 			add(sleepEntry{pid: pid, in: in})
 		}
 	}
@@ -237,6 +286,15 @@ func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
 		}
 		// A crash touches no register: independent of any other-pid choice.
 		add(sleepEntry{pid: pid, crash: true})
+	}
+	for m := parent.doneRestart; m != 0; m &= m - 1 {
+		pid := bits.TrailingZeros64(m)
+		if pid == ch.Pid {
+			continue
+		}
+		// A restart touches no register either: it only resets its own
+		// process's local state, so it commutes with every other-pid choice.
+		add(sleepEntry{pid: pid, restart: true})
 	}
 	return out
 }
@@ -259,7 +317,7 @@ func (t *Tree) Backtrack(tr sched.Trace, res sched.Result) bool {
 	}
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		f := &t.stack[i]
-		if (f.btStep&^f.doneStep)|(f.btCrash&^f.doneCrash) == 0 {
+		if !frameOpen(f) {
 			continue
 		}
 		t.stack = t.stack[:i+1]

@@ -39,14 +39,29 @@ import (
 // one), or crash it before its posted operation executes. A negative Pid
 // abandons the in-flight execution — the strategy has recognized the prefix
 // as redundant (sleep-blocked) and wants to backtrack without finishing it.
+//
+// Under a fault model (sched.Controller.SetModel) two more decision kinds
+// exist: Stale > 0 grants pid's pending read returning stale choice Stale-1
+// (weak registers — see sched.StepStale), and Restart respawns a crashed pid
+// (crash recovery — see sched.Restart). Both are zero under the default
+// model.
 type Choice struct {
-	Pid   int
-	K     int
-	Crash bool
+	Pid     int
+	K       int
+	Crash   bool
+	Stale   int
+	Restart bool
 }
 
 // Abandon is the Choice a strategy returns to cut off a redundant execution.
 var Abandon = Choice{Pid: -1}
+
+// Halt is the Choice a strategy returns to end the current execution as
+// complete at a point where it could also continue — under a recovery model,
+// a state with no pending process but restartable crashed ones is a genuine
+// decision: the adversary stops (fail-stop outcome) or restarts somebody.
+// Under the default model the situation cannot arise and Halt is never seen.
+var Halt = Choice{Pid: -2}
 
 // Stats accounts for a strategy's search effort.
 type Stats struct {
@@ -141,6 +156,11 @@ type Seeder interface {
 type Config struct {
 	// N is the population size.
 	N int
+	// Model is the fault model every execution runs under (the zero value is
+	// the paper's: atomic registers, fail-stop crashes). Tree strategies
+	// branch on the model's extra decisions — stale read choices and restarts
+	// — exactly like on grants and crashes.
+	Model shmem.Model
 	// Names supplies run's original names (nil assigns pids 1..n).
 	Names func(run int) []int64
 	// Body builds a fresh, deterministic body for execution run. Tree
@@ -183,22 +203,21 @@ func Drive(s Strategy, cfg Config) Stats {
 	run := 0
 	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
 		c := sched.NewController(cfg.N, cfg.names(run), cfg.Body(run))
+		if !cfg.Model.Atomic() {
+			c.SetModel(cfg.Model)
+		}
 		c.EnableTrace()
 		abandoned := false
-		for c.PendingCount() > 0 {
+		for live(c) {
 			ch := s.Next(c)
+			if ch.Pid == Halt.Pid {
+				break
+			}
 			if ch.Pid < 0 {
 				abandoned = true
 				break
 			}
-			switch {
-			case ch.Crash:
-				c.Crash(ch.Pid)
-			case ch.K > 1:
-				c.StepN(ch.Pid, ch.K)
-			default:
-				c.Step(ch.Pid)
-			}
+			dispatch(c, ch)
 		}
 		if abandoned {
 			c.Abort()
@@ -218,6 +237,45 @@ func Drive(s Strategy, cfg Config) Stats {
 	return s.Stats()
 }
 
+// live reports whether the in-flight execution still has decisions: a pending
+// process, or (recovery models) a crashed process the adversary may restart.
+func live(c *sched.Controller) bool {
+	if c.PendingCount() > 0 {
+		return true
+	}
+	return restartableMask(c) != 0
+}
+
+// dispatch executes one strategy choice on the controller.
+func dispatch(c *sched.Controller, ch Choice) {
+	switch {
+	case ch.Restart:
+		c.Restart(ch.Pid)
+	case ch.Crash:
+		c.Crash(ch.Pid)
+	case ch.Stale > 0:
+		c.StepStale(ch.Pid, ch.Stale-1)
+	case ch.K > 1:
+		c.StepN(ch.Pid, ch.K)
+	default:
+		c.Step(ch.Pid)
+	}
+}
+
+// restartableMask collects the crashed processes Restart currently accepts.
+func restartableMask(c *sched.Controller) uint64 {
+	if !c.Model().Recovery {
+		return 0
+	}
+	var m uint64
+	for pid := 0; pid < c.N(); pid++ {
+		if c.CanRestart(pid) {
+			m |= 1 << uint(pid)
+		}
+	}
+	return m
+}
+
 // driveStateful is the checkpoint/restore drive: one controller, one
 // instance, built from run 0's body and never rebuilt. The strategy extends
 // the in-flight execution decision by decision; at every backtrack the
@@ -226,6 +284,9 @@ func Drive(s Strategy, cfg Config) Stats {
 // zero by construction.
 func driveStateful(s Stateful, cfg Config) Stats {
 	c := sched.NewController(cfg.N, cfg.names(0), cfg.Body(0))
+	if !cfg.Model.Atomic() {
+		c.SetModel(cfg.Model)
+	}
 	c.EnableState()
 	// The loop shape mirrors the stateless drive exactly: BacktrackState is
 	// called on every finished execution — including the one that hits
@@ -234,17 +295,16 @@ func driveStateful(s Stateful, cfg Config) Stats {
 	run := 0
 	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
 		abandoned := false
-		for c.PendingCount() > 0 {
+		for live(c) {
 			ch := s.Next(c)
+			if ch.Pid == Halt.Pid {
+				break
+			}
 			if ch.Pid < 0 {
 				abandoned = true
 				break
 			}
-			if ch.Crash {
-				c.Crash(ch.Pid)
-			} else {
-				c.Step(ch.Pid)
-			}
+			dispatch(c, ch)
 		}
 		t, res := c.Trace(), c.Result()
 		if !abandoned && cfg.OnResult != nil && !cfg.OnResult(run, t, res) {
@@ -272,6 +332,7 @@ func driveParallel(s Strategy, ind Independent, cfg Config) Stats {
 		return sched.RunSpec{
 			N:      cfg.N,
 			Names:  cfg.names(run),
+			Model:  cfg.Model,
 			Policy: policy,
 			Plan:   plan,
 			Body:   cfg.Body(run),
@@ -293,8 +354,52 @@ func driveParallel(s Strategy, ind Independent, cfg Config) Stats {
 				st.Explored++ // a crash grant is a decision too
 			}
 		}
+		for _, r := range res.Restarts {
+			// Each restart is one decision and implies one crash grant the
+			// final Crashed flags no longer show.
+			st.Explored += 2 * r
+		}
 	}
 	return st
+}
+
+// policyChoice derives one strategy Choice from a (policy, crash plan) pair,
+// mirroring sched.Run's decision shape exactly — including the fault-model
+// extensions: a plan implementing sched.RestartPlan is offered every crashed
+// process first, a pending-free state with restarts declined halts, and a
+// policy implementing sched.StalePolicy picks among a weak read's stale
+// alternatives. pendBuf is the caller's reusable pending-slice buffer.
+func policyChoice(c *sched.Controller, policy sched.Policy, plan sched.CrashPlan, pendBuf *[]int) Choice {
+	if rp, ok := plan.(sched.RestartPlan); ok && c.Model().Recovery {
+		for pid := 0; pid < c.N(); pid++ {
+			if c.CanRestart(pid) && rp.ShouldRestart(pid, c.Proc(pid).Restarts()) {
+				return Choice{Pid: pid, Restart: true}
+			}
+		}
+	}
+	if c.PendingCount() == 0 {
+		return Halt
+	}
+	var pid int
+	if ip, ok := policy.(sched.IterPolicy); ok {
+		pid = ip.NextIter(c)
+	} else {
+		if cap(*pendBuf) < c.N() {
+			*pendBuf = make([]int, 0, c.N())
+		}
+		pid = policy.Next(c, c.PendingInto(*pendBuf))
+	}
+	if plan != nil && plan.ShouldCrash(pid, c.Proc(pid).Steps(), c.Intent(pid)) {
+		return Choice{Pid: pid, Crash: true}
+	}
+	if sp, ok := policy.(sched.StalePolicy); ok && c.Model().Regs != shmem.RegAtomic {
+		if k := c.StaleCount(pid); k > 0 {
+			if s := sp.PickStale(c, pid, k); s > 0 {
+				return Choice{Pid: pid, Stale: s}
+			}
+		}
+	}
+	return Choice{Pid: pid}
 }
 
 // independent reports whether two transitions — (pid, crash?, posted op) —

@@ -58,20 +58,8 @@ func (s *Seeded) Next(c *sched.Controller) Choice {
 		s.policy, s.plan = s.mk(s.run)
 		s.started = true
 	}
-	var pid int
-	if ip, ok := s.policy.(sched.IterPolicy); ok {
-		pid = ip.NextIter(c)
-	} else {
-		if cap(s.pendBuf) < c.N() {
-			s.pendBuf = make([]int, 0, c.N())
-		}
-		pid = s.policy.Next(c, c.PendingInto(s.pendBuf))
-	}
 	s.stats.Explored++
-	if s.plan != nil && s.plan.ShouldCrash(pid, c.Proc(pid).Steps(), c.Intent(pid)) {
-		return Choice{Pid: pid, Crash: true}
-	}
-	return Choice{Pid: pid}
+	return policyChoice(c, s.policy, s.plan, &s.pendBuf)
 }
 
 // Backtrack implements Strategy: advance to the next run seed.

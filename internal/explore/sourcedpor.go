@@ -58,11 +58,13 @@ type SourceDPOR struct {
 // subset test), and the accumulated subtree footprint.
 type sframe struct {
 	frame
-	snap       sched.Snapshot
-	key        [2]uint64
-	sleepStep  uint64
-	sleepCrash uint64
-	foot       map[footKey]struct{}
+	snap          sched.Snapshot
+	key           [2]uint64
+	sleepStep     uint64
+	sleepCrash    uint64
+	sleepRestart  uint64
+	restartBudget int // remaining global restarts at node entry (dedup mode)
+	foot          map[footKey]struct{}
 }
 
 // footKey identifies one kind of register access occurring in a subtree:
@@ -79,18 +81,25 @@ type footKey struct {
 // checked. A later visit to the same state may be cut if its obligations
 // are covered — see matches.
 type closedRec struct {
-	sleepStep   uint64
-	sleepCrash  uint64
-	crashBudget int
-	foot        map[footKey]struct{}
+	sleepStep     uint64
+	sleepCrash    uint64
+	sleepRestart  uint64
+	crashBudget   int
+	restartBudget int
+	foot          map[footKey]struct{}
 }
 
 // matches reports whether the record's coverage subsumes a revisit carrying
-// the given sleep masks and remaining crash budget: the record explored
-// everything outside ITS sleep set, so the revisit — which only owes
-// everything outside its own, larger-or-equal sleep set — is covered.
-func (r *closedRec) matches(sleepStep, sleepCrash uint64, crashBudget int) bool {
-	return r.sleepStep&^sleepStep == 0 && r.sleepCrash&^sleepCrash == 0 && r.crashBudget >= crashBudget
+// the given sleep masks and remaining fault budgets: the record explored
+// everything outside ITS sleep set within ITS budgets, so the revisit — which
+// only owes everything outside its own, larger-or-equal sleep set within
+// smaller-or-equal budgets — is covered. The restart budget matters even
+// though the state hash folds per-process restart counts: two visits can
+// reach the same state having spent different global budgets.
+func (r *closedRec) matches(sleepStep, sleepCrash, sleepRestart uint64, crashBudget, restartBudget int) bool {
+	return r.sleepStep&^sleepStep == 0 && r.sleepCrash&^sleepCrash == 0 &&
+		r.sleepRestart&^sleepRestart == 0 &&
+		r.crashBudget >= crashBudget && r.restartBudget >= restartBudget
 }
 
 // NewSourceDPOR returns the stateful source-set DPOR strategy. budget caps
@@ -157,10 +166,19 @@ func (t *SourceDPOR) Next(c *sched.Controller) Choice {
 		}
 		f.sleep = childSleep(c, &parent.frame)
 	}
+	faultOpen(c, &f.frame)
 	// Sleeping transitions are pre-marked done: exploring one would re-derive
 	// a schedule already covered under an earlier sibling.
 	for _, e := range f.sleep {
 		bit := uint64(1) << uint(e.pid)
+		if e.restart {
+			if f.restartable&bit != 0 && f.doneRestart&bit == 0 {
+				f.doneRestart |= bit
+				f.sleepRestart |= bit
+				t.stats.Pruned++
+			}
+			continue
+		}
 		if f.enabled&bit == 0 {
 			continue
 		}
@@ -178,10 +196,11 @@ func (t *SourceDPOR) Next(c *sched.Controller) Choice {
 	}
 	if t.dedup && len(t.stack) > 0 {
 		key := c.StateHash()
+		f.restartBudget = c.Model().MaxRestarts - c.Restarts()
 		if recs, ok := t.table[key]; ok {
 			budget := t.maxCrashes - f.crashesBefore
 			for i := range recs {
-				if recs[i].matches(f.sleepStep, f.sleepCrash, budget) {
+				if recs[i].matches(f.sleepStep, f.sleepCrash, f.sleepRestart, budget, f.restartBudget) {
 					t.coverDedup(&recs[i])
 					t.stats.Deduped++
 					t.abandoned = true
@@ -193,9 +212,14 @@ func (t *SourceDPOR) Next(c *sched.Controller) Choice {
 	}
 	if t.rootPin != nil && len(t.stack) == 0 {
 		bit := uint64(1) << uint(t.rootPin.Pid)
-		if t.rootPin.Crash {
+		f.btRestart = 0
+		f.haltBt = false
+		switch {
+		case t.rootPin.Restart:
+			f.btRestart = bit & f.restartable
+		case t.rootPin.Crash:
 			f.btCrash = bit & f.enabled
-		} else {
+		default:
 			f.btStep = bit & f.enabled
 		}
 	} else {
@@ -225,6 +249,12 @@ func (t *SourceDPOR) Next(c *sched.Controller) Choice {
 // replay a closed subtree's race obligations at a dedup cut), and count the
 // decision.
 func (t *SourceDPOR) commit(c *sched.Controller, f *sframe) {
+	if f.chosen.Restart || f.chosen.Pid < 0 {
+		// Restarts carry no intent (the process is crashed) and Halt grants
+		// nothing; neither touches a register, so no footprint entry either.
+		t.stats.Explored++
+		return
+	}
 	f.chosenIn = c.Intent(f.chosen.Pid)
 	if t.dedup && !f.chosen.Crash {
 		if f.foot == nil {
@@ -252,7 +282,7 @@ func (t *SourceDPOR) BacktrackState(c *sched.Controller, tr sched.Trace, res sch
 	}
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		f := &t.stack[i]
-		if (f.btStep&^f.doneStep)|(f.btCrash&^f.doneCrash) == 0 {
+		if !frameOpen(&f.frame) {
 			t.closeFrame(i)
 			t.stack = t.stack[:i]
 			continue
@@ -277,10 +307,12 @@ func (t *SourceDPOR) closeFrame(i int) {
 	f := &t.stack[i]
 	if i > 0 {
 		t.table[f.key] = append(t.table[f.key], closedRec{
-			sleepStep:   f.sleepStep,
-			sleepCrash:  f.sleepCrash,
-			crashBudget: t.maxCrashes - f.crashesBefore,
-			foot:        f.foot,
+			sleepStep:     f.sleepStep,
+			sleepCrash:    f.sleepCrash,
+			sleepRestart:  f.sleepRestart,
+			crashBudget:   t.maxCrashes - f.crashesBefore,
+			restartBudget: f.restartBudget,
+			foot:          f.foot,
 		})
 		mergeFoot(&t.stack[i-1], f.foot)
 	}
@@ -297,7 +329,7 @@ func (t *SourceDPOR) coverDedup(rec *closedRec) {
 			continue
 		}
 		f := &t.stack[i]
-		if f.chosen.Crash {
+		if f.chosen.Crash || f.chosen.Restart || f.chosen.Pid < 0 {
 			continue
 		}
 		for fe := range rec.foot {
@@ -364,7 +396,7 @@ func (s *raceScratch) prepare(tr sched.Trace) {
 	s.keys = append(s.keys[:0], make([]int32, L)...)
 	s.writes = append(s.writes[:0], make([]bool, L)...)
 	for j, e := range tr {
-		if e.Crash {
+		if e.Crash || e.Restart {
 			s.keys[j] = -1
 			continue
 		}
@@ -424,8 +456,8 @@ func (t *SourceDPOR) updateRaces(tr sched.Trace) {
 	s := &t.scratch
 	s.prepare(tr)
 	for j := 1; j < L; j++ {
-		if tr[j].Crash {
-			continue // crashes commute with every other-process event
+		if tr[j].Crash || tr[j].Restart {
+			continue // crashes and restarts commute with every other-process event
 		}
 		hbj := s.row(s.hb, j)
 		cov := s.covered[:s.words]
@@ -444,7 +476,7 @@ func (t *SourceDPOR) updateRaces(tr sched.Trace) {
 			for direct != 0 {
 				i := w<<6 + trailingZeros(direct)
 				direct &= direct - 1
-				if tr[i].Pid != tr[j].Pid && !tr[i].Crash {
+				if tr[i].Pid != tr[j].Pid && !tr[i].Crash && !tr[i].Restart {
 					t.addSource(i, j, tr)
 				}
 			}
@@ -503,13 +535,25 @@ func (t *SourceDPOR) addSource(i, j int, tr sched.Trace) {
 func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 
 // pickNext selects the next unexplored scheduled transition of f (steps
-// before crashes, ascending pid), marks it done, and installs it as
-// f.chosen. Shared with the stateless Tree engine.
+// before crashes, then halt, then restarts; ascending pid), marks it done,
+// and installs it as f.chosen. A step whose pending read has stale variants
+// (frame.staleN) is picked repeatedly — fresh first, then each stale choice —
+// and only its last variant marks the pid done. Shared with the stateless
+// Tree engine.
 func pickNext(f *frame) bool {
 	if avail := f.btStep &^ f.doneStep; avail != 0 {
 		pid := bits.TrailingZeros64(avail)
-		f.doneStep |= 1 << uint(pid)
-		f.chosen = Choice{Pid: pid}
+		if f.staleN == nil || f.staleN[pid] == 0 {
+			f.doneStep |= 1 << uint(pid)
+			f.chosen = Choice{Pid: pid}
+			return true
+		}
+		v := int(f.varCur[pid])
+		f.varCur[pid]++
+		if int(f.varCur[pid]) > int(f.staleN[pid]) {
+			f.doneStep |= 1 << uint(pid)
+		}
+		f.chosen = Choice{Pid: pid, Stale: v}
 		return true
 	}
 	if avail := f.btCrash &^ f.doneCrash; avail != 0 {
@@ -518,5 +562,52 @@ func pickNext(f *frame) bool {
 		f.chosen = Choice{Pid: pid, Crash: true}
 		return true
 	}
+	if f.haltBt && !f.haltDone {
+		f.haltDone = true
+		f.chosen = Halt
+		return true
+	}
+	if avail := f.btRestart &^ f.doneRestart; avail != 0 {
+		pid := bits.TrailingZeros64(avail)
+		f.doneRestart |= 1 << uint(pid)
+		f.chosen = Choice{Pid: pid, Restart: true}
+		return true
+	}
 	return false
+}
+
+// frameOpen reports whether f still has an unexplored scheduled choice.
+func frameOpen(f *frame) bool {
+	if (f.btStep&^f.doneStep)|(f.btCrash&^f.doneCrash)|(f.btRestart&^f.doneRestart) != 0 {
+		return true
+	}
+	return f.haltBt && !f.haltDone
+}
+
+// faultOpen seeds a frame's fault-model branching from the live controller:
+// the restartable mask (scheduled exhaustively, like crashes), the Halt
+// branch of pending-free nodes, and the stale-variant counts of every
+// enabled pending read. No-op under the default model.
+func faultOpen(c *sched.Controller, f *frame) {
+	m := c.Model()
+	if m.Recovery {
+		f.restartable = restartableMask(c)
+		f.btRestart = f.restartable
+		if f.enabled == 0 && f.restartable != 0 {
+			f.haltBt = true
+		}
+	}
+	if m.Regs != shmem.RegAtomic && f.enabled != 0 {
+		f.staleN = make([]uint8, c.N())
+		f.varCur = make([]uint8, c.N())
+		for e := f.enabled; e != 0; e &= e - 1 {
+			pid := bits.TrailingZeros64(e)
+			if k := c.StaleCount(pid); k > 0 {
+				if k > 255 {
+					k = 255
+				}
+				f.staleN[pid] = uint8(k)
+			}
+		}
+	}
 }

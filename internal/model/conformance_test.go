@@ -58,7 +58,7 @@ func TestProveConformanceTable(t *testing.T) {
 	// now also with full crash branching (Adaptive's crash cell is new —
 	// stateless search only reached its crash-free tree). Pin it so the
 	// table cannot silently shrink.
-	want := map[string]int{"majority": 5, "basic": 5, "polylog": 5, "almostadaptive": 5, "efficient": 2, "adaptive": 2}
+	want := map[string]int{"majority": 5, "basic": 5, "polylog": 5, "almostadaptive": 5, "efficient": 2, "adaptive": 2, "firstfit": 2}
 	for _, tc := range conformance.Cases() {
 		ns := tc.ProvenNs()
 		if len(ns) == 0 || ns[len(ns)-1] < want[tc.Name] {

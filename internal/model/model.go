@@ -80,6 +80,15 @@ type Options struct {
 	// model but proves nothing extra about final states (the suite's
 	// liveness checkers gate on survivors), so n-1 is the customary cap.
 	MaxCrashes int
+	// Model is the fault model every execution runs under (see shmem.Model);
+	// the zero value is the paper's: atomic registers, fail-stop crashes. The
+	// tree engines branch on the model's extra decisions — each stale
+	// alternative of a weak-register read, each restart of a crashed process
+	// (bounded by Model.MaxRestarts, which SetModel defaults to n), and the
+	// halt-versus-restart choice at pending-free states — so Complete under a
+	// fault model proves the suite over every schedule, crash pattern, stale
+	// choice and restart pattern in the cell.
+	Model shmem.Model
 	// Budget caps executions (complete + pruned prefixes); 0 exhausts the
 	// tree. A budgeted run that stops early reports Complete=false — it
 	// degrades to a systematic sample, never to a false proof.
@@ -100,6 +109,7 @@ type Options struct {
 type Report struct {
 	Label      string
 	N          int
+	Model      shmem.Model
 	Engine     Engine
 	Workers    int
 	Executions int  // complete executions checked
@@ -139,7 +149,11 @@ func (r *Report) Summary() string {
 	} else if r.Complete {
 		verdict = "PROVEN"
 	}
-	s := fmt.Sprintf("%s n=%d [%s", r.Label, r.N, r.Engine)
+	s := fmt.Sprintf("%s n=%d", r.Label, r.N)
+	if !r.Model.Atomic() {
+		s += fmt.Sprintf(" model=%s", r.Model)
+	}
+	s += fmt.Sprintf(" [%s", r.Engine)
 	if r.Workers > 1 {
 		s += fmt.Sprintf(" x%d", r.Workers)
 	}
@@ -192,7 +206,7 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
-	rep := Report{Label: label, N: n, Engine: opt.Engine, Workers: opt.Workers}
+	rep := Report{Label: label, N: n, Model: opt.Model, Engine: opt.Engine, Workers: opt.Workers}
 	start := time.Now()
 
 	var vmu sync.Mutex // parallel shards report violations concurrently
@@ -234,6 +248,7 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 		cur := in
 		return explore.Config{
 			N:     n,
+			Model: opt.Model,
 			Names: func(run int) []int64 { return origs },
 			Body: func(run int) sched.Body {
 				if run > 0 {

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+// TestCrashDropsPendingWriteAcrossRestart is the crash/restart/pending-write
+// race regression: a process crashed while holding a posted write intent must
+// leave the register untouched, and after Restart the fresh incarnation's
+// first operation — not the dead incarnation's pending write — is what any
+// grant executes. The stale-grant hazard this pins down: grant bookkeeping
+// that survived the crash could apply the orphaned write on the restarted
+// process's first step.
+func TestCrashDropsPendingWriteAcrossRestart(t *testing.T) {
+	var regA, regB shmem.Reg
+	body := func(p *shmem.Proc) {
+		if p.ID() == 0 {
+			p.Read(&regB)
+			p.Write(&regA, 41)
+		} else {
+			p.Write(&regA, 99)
+		}
+	}
+	c := NewController(2, nil, body)
+	c.SetModel(shmem.Model{Recovery: true})
+
+	if in := c.Intent(0); in.Kind != shmem.OpRead {
+		t.Fatalf("pid 0 first intent %v, want the read", in.Kind)
+	}
+	c.Step(0) // grant the read; the write intent on regA is now posted
+	if in := c.Intent(0); in.Kind != shmem.OpWrite || in.Reg != &regA {
+		t.Fatalf("pid 0 pending intent %+v, want the write to regA", in)
+	}
+
+	c.Crash(0)
+	if got := regA.Peek(); got != shmem.Null {
+		t.Fatalf("crashed process's pending write landed: regA = %d", got)
+	}
+	if !c.CanRestart(0) {
+		t.Fatal("recovery model with budget, yet CanRestart(0) is false")
+	}
+
+	c.Step(1) // the survivor's write proceeds over the wreckage
+	if got := regA.Peek(); got != 99 {
+		t.Fatalf("survivor write lost: regA = %d, want 99", got)
+	}
+
+	c.Restart(0)
+	if got := regA.Peek(); got != 99 {
+		t.Fatalf("restart itself mutated a register: regA = %d, want 99", got)
+	}
+	// The restarted incarnation starts from the body's first operation; the
+	// dead incarnation's write intent was discarded at the crash.
+	if in := c.Intent(0); in.Kind != shmem.OpRead || in.Reg != &regB {
+		t.Fatalf("restarted pid 0 pending intent %+v, want the fresh incarnation's read of regB", in)
+	}
+	c.Step(0)
+	if in := c.Intent(0); in.Kind != shmem.OpWrite {
+		t.Fatalf("restarted pid 0 second intent %v, want the write", in.Kind)
+	}
+	c.Step(0)
+	if got := regA.Peek(); got != 41 {
+		t.Fatalf("restarted write missing: regA = %d, want 41", got)
+	}
+
+	res := c.Result()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Crashed[0] || res.Crashed[1] {
+		t.Fatalf("restarted process still reported crashed: %v", res.Crashed)
+	}
+	if res.Restarts == nil || res.Restarts[0] != 1 || res.Restarts[1] != 0 {
+		t.Fatalf("restart accounting %v, want [1 0]", res.Restarts)
+	}
+}
+
+// TestCrashedWriteLeavesNoStaleTrace: a write that was posted but never
+// granted before the crash must not enter any concurrent reader's stale
+// window — staleness models values the register actually held, and the
+// crashed write never executed. The reader's subsequent fresh read sees the
+// register's real contents.
+func TestCrashedWriteLeavesNoStaleTrace(t *testing.T) {
+	var regA, regB shmem.Reg
+	body := func(p *shmem.Proc) {
+		if p.ID() == 0 {
+			p.Write(&regA, 77)
+			p.Write(&regA, 88)
+		} else {
+			v := p.Read(&regA)
+			p.Write(&regB, v)
+		}
+	}
+	c := NewController(2, nil, body)
+	c.SetModel(shmem.Model{Regs: shmem.RegSafe, Recovery: true})
+
+	// pid 1's read is pending, pid 0's write 77 is posted but not granted.
+	c.Crash(0)
+	if n := c.StaleCount(1); n != 0 {
+		t.Fatalf("reader has %d stale choices from a never-granted write", n)
+	}
+	c.Step(1)
+	c.Step(1)
+	if got := regB.Peek(); got != shmem.Null {
+		t.Fatalf("reader observed %d, want Null (regA was never written)", got)
+	}
+
+	c.Restart(0)
+	c.Step(0)
+	if got := regA.Peek(); got != 77 {
+		t.Fatalf("restarted writer's first write: regA = %d, want 77", got)
+	}
+	c.Step(0)
+	res := c.Result()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if regA.Peek() != 88 {
+		t.Fatalf("regA = %d, want 88", regA.Peek())
+	}
+}
+
+// TestStaleWindowMechanics pins the weak-register window at the sched layer:
+// a pending read overlapped by two granted writes accumulates both
+// pre-overwrite values, StepStale returns the chosen one (observable through
+// the reader's follow-up write), and the fresh grant returns the current
+// contents. Safe semantics add the Null junk read exactly once.
+func TestStaleWindowMechanics(t *testing.T) {
+	drive := func(m shmem.Model, staleIdx int) (count int, observed int64) {
+		var regA, regB shmem.Reg
+		body := func(p *shmem.Proc) {
+			if p.ID() == 0 {
+				v := p.Read(&regA)
+				p.Write(&regB, v)
+			} else {
+				p.Write(&regA, 5)
+				p.Write(&regA, 6)
+			}
+		}
+		c := NewController(2, nil, body)
+		c.SetModel(m)
+		c.Step(1) // regA: Null -> 5, overlapping pid 0's pending read
+		c.Step(1) // regA: 5 -> 6
+		count = c.StaleCount(0)
+		if staleIdx < 0 {
+			c.Step(0)
+		} else {
+			c.StepStale(0, staleIdx)
+		}
+		c.Step(0) // the write to regB publishes what the read returned
+		if res := c.Result(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return count, regB.Peek()
+	}
+
+	// Regular: the window holds the two overwritten values {Null, 5}; Null is
+	// a value regA genuinely held, not junk.
+	if count, v := drive(shmem.Model{Regs: shmem.RegRegular}, -1); count != 2 || v != 6 {
+		t.Fatalf("regular fresh: count=%d observed=%d, want 2 and 6", count, v)
+	}
+	if _, v := drive(shmem.Model{Regs: shmem.RegRegular}, 0); v != shmem.Null {
+		t.Fatalf("regular stale 0: observed %d, want Null", v)
+	}
+	if _, v := drive(shmem.Model{Regs: shmem.RegRegular}, 1); v != 5 {
+		t.Fatalf("regular stale 1: observed %d, want 5", v)
+	}
+	// Safe: junk (Null) would be added for an overlapped read, but the window
+	// already contains Null as a real pre-overwrite value — no duplicate.
+	if count, _ := drive(shmem.Model{Regs: shmem.RegSafe}, -1); count != 2 {
+		t.Fatalf("safe: count=%d, want 2 (junk deduplicated against real Null)", count)
+	}
+	// Atomic: no stale choices exist at all.
+	if count, v := drive(shmem.Model{}, -1); count != 0 || v != 6 {
+		t.Fatalf("atomic: count=%d observed=%d, want 0 and 6", count, v)
+	}
+}
+
+// TestRestartBudgetEnforced: CanRestart must flip to false when the model's
+// global budget is spent, and SetModel's MaxRestarts normalization (0 means
+// population size) must be what the budget counts against.
+func TestRestartBudgetEnforced(t *testing.T) {
+	var reg shmem.Reg
+	body := func(p *shmem.Proc) { p.Write(&reg, int64(p.ID())) }
+	c := NewController(2, nil, body)
+	c.SetModel(shmem.Model{Recovery: true, MaxRestarts: 1})
+
+	c.Crash(0)
+	c.Crash(1)
+	if !c.CanRestart(0) || !c.CanRestart(1) {
+		t.Fatal("both crashed processes should be restartable with budget 1 unspent")
+	}
+	c.Restart(0)
+	if c.CanRestart(1) {
+		t.Fatal("budget 1 is spent, yet CanRestart(1) is true")
+	}
+	c.Step(0)
+	res := c.Result()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Crashed[0] || !res.Crashed[1] {
+		t.Fatalf("crash outcome %v, want pid 0 recovered and pid 1 dead", res.Crashed)
+	}
+	if c.Restarts() != 1 {
+		t.Fatalf("Restarts() = %d, want 1", c.Restarts())
+	}
+}

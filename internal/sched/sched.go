@@ -124,6 +124,15 @@ type Controller struct {
 	traceBuf []TraceEvent // the recorded grant sequence
 
 	st stateLayer // checkpoint/restore bookkeeping (see state.go)
+
+	// Fault-model capability knob (see shmem.Model and SetModel). The zero
+	// model is the paper's: atomic registers, fail-stop crashes. All of the
+	// bookkeeping below is dead when the model is atomic — the grant hot path
+	// pays one predictable branch.
+	model    shmem.Model
+	restarts int       // restarts issued so far (recovery budget accounting)
+	staleWin [][]int64 // per-pid stale windows of pending reads (weak regs only)
+	staleBuf []int64   // scratch for StaleVals/StaleCount
 }
 
 // gate adapts the Controller to shmem.Gate for one process.
@@ -381,9 +390,174 @@ func (c *Controller) Done(pid int) bool { return c.phase[pid] == phaseDone }
 // Crashed reports whether the process was crash-injected.
 func (c *Controller) Crashed(pid int) bool { return c.phase[pid] == phaseCrashed }
 
+// SetModel opens the fault-model capability knob (see shmem.Model). It must
+// be called before any grant so the model covers the whole execution. The
+// zero model is the default and needs no call; setting it again is a no-op.
+// A recovery model with MaxRestarts == 0 is normalized to a budget of n.
+// Weak register semantics rule out StepN batching (stale windows must see
+// every decision individually).
+func (c *Controller) SetModel(m shmem.Model) {
+	if c.grants != 0 {
+		panic("sched: SetModel after grants were issued")
+	}
+	if m.Recovery && m.MaxRestarts == 0 {
+		m.MaxRestarts = c.n
+	}
+	c.model = m
+	if m.Regs != shmem.RegAtomic && c.staleWin == nil {
+		c.staleWin = make([][]int64, c.n)
+	}
+}
+
+// Model returns the controller's fault model (the zero value by default).
+func (c *Controller) Model() shmem.Model { return c.model }
+
+// staleCap bounds a pending read's stale window so weak-register search trees
+// stay finite: at most this many distinct overwritten values are retained as
+// stale choices (oldest first — the window fills front to back).
+const staleCap = 8
+
+// noteWeakGrant maintains the stale windows under weak register semantics,
+// driver-side, at every grant: a write grant appends the register's
+// pre-overwrite value to the window of every other pending read targeting the
+// same scalar register (those reads overlap the write), and the granted
+// process's own window closes — its posted operation executes (or is crashed
+// away) now. Values already in the window are not duplicated; duplicate
+// choices would only multiply equivalent branches.
+func (c *Controller) noteWeakGrant(pid int, crash bool) {
+	in := c.intent[pid]
+	if !crash && in.Kind == shmem.OpWrite {
+		if r, ok := in.Reg.(*shmem.Reg); ok {
+			v := r.Peek()
+			for q := c.NextPending(-1); q >= 0; q = c.NextPending(q) {
+				if q == pid || c.intent[q].Kind != shmem.OpRead || c.intent[q].Reg != in.Reg {
+					continue
+				}
+				w := c.staleWin[q]
+				if len(w) < staleCap && !containsI64(w, v) {
+					c.staleWin[q] = append(w, v)
+				}
+			}
+		}
+	}
+	c.staleWin[pid] = c.staleWin[pid][:0]
+}
+
+func containsI64(s []int64, v int64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// StaleVals appends to buf[:0] the stale values the adversary may have pid's
+// pending scalar read return instead of the current contents, and returns the
+// slice. It is empty unless the model has weak registers, pid is pending on a
+// Reg read, and the read overlaps at least one already-granted write. Under
+// regular semantics the choices are the pre-overwrite values the register
+// held while the read was pending; safe semantics add junk (shmem.Null) as a
+// final choice when the read overlapped any write. Values equal to the
+// current contents are filtered — returning them is the fresh read.
+func (c *Controller) StaleVals(pid int, buf []int64) []int64 {
+	buf = buf[:0]
+	if c.model.Regs == shmem.RegAtomic || c.phase[pid] != phasePending {
+		return buf
+	}
+	in := c.intent[pid]
+	if in.Kind != shmem.OpRead {
+		return buf
+	}
+	r, ok := in.Reg.(*shmem.Reg)
+	if !ok {
+		return buf // Ref registers stay atomic under every model
+	}
+	w := c.staleWin[pid]
+	if len(w) == 0 {
+		return buf
+	}
+	cur := r.Peek()
+	for _, v := range w {
+		if v != cur {
+			buf = append(buf, v)
+		}
+	}
+	if c.model.Regs == shmem.RegSafe && cur != shmem.Null && !containsI64(buf, shmem.Null) {
+		buf = append(buf, shmem.Null)
+	}
+	return buf
+}
+
+// StaleCount returns the number of stale alternatives for pid's pending read
+// (0 under the atomic model, for writes, and for non-overlapped reads). A
+// search strategy branches the grant of pid StaleCount+1 ways: the fresh read
+// plus one StepStale per index.
+func (c *Controller) StaleCount(pid int) int {
+	c.staleBuf = c.StaleVals(pid, c.staleBuf)
+	return len(c.staleBuf)
+}
+
+// StepStale grants pid's pending scalar read one step returning stale choice
+// idx (an index into StaleVals) instead of the current register contents.
+// The decision folds into the fingerprint and trace distinctly from a fresh
+// Step, so schedules differing only in staleness choices stay distinct.
+func (c *Controller) StepStale(pid, idx int) {
+	c.staleBuf = c.StaleVals(pid, c.staleBuf)
+	if idx < 0 || idx >= len(c.staleBuf) {
+		panic(fmt.Sprintf("sched: StepStale(%d, %d) with %d stale choices", pid, idx, len(c.staleBuf)))
+	}
+	c.procs[pid].ArmStale(c.staleBuf[idx])
+	c.grant(pid, 1, false, idx+1)
+}
+
+// Restart respawns a crashed process under a recovery model: its registers
+// keep their contents, its local state is lost, and the body re-runs from
+// the beginning (cumulative step count preserved). The restart is a
+// scheduling decision — it folds into the fingerprint and trace — and
+// consumes one unit of the model's restart budget. On return the controller
+// is quiesced with the fresh incarnation's first intent posted, so a grant
+// to pid can only ever execute an operation the new incarnation posted:
+// intents of the dead incarnation were discarded at the crash.
+func (c *Controller) Restart(pid int) {
+	if !c.model.Recovery {
+		panic("sched: Restart without a recovery model (SetModel)")
+	}
+	if pid < 0 || pid >= c.n || c.phase[pid] != phaseCrashed {
+		panic(fmt.Sprintf("sched: Restart(%d) of non-crashed process (phase %s)", pid, c.phase[pid]))
+	}
+	if c.restarts >= c.model.MaxRestarts {
+		panic(fmt.Sprintf("sched: Restart(%d) beyond the model's budget of %d", pid, c.model.MaxRestarts))
+	}
+	c.fp = foldGrant(c.fp, pid, 0, 0, false, 0, true)
+	c.grants++
+	c.restarts++
+	if c.tracing {
+		c.traceBuf = append(c.traceBuf, TraceEvent{Pid: pid, Restart: true})
+	}
+	c.procs[pid].BeginIncarnation()
+	c.mu.Lock()
+	c.phase[pid] = phaseRunning
+	c.err[pid] = nil
+	c.mu.Unlock()
+	c.active.Add(1)
+	go c.runProc(pid, c.body)
+	c.waitQuiesce()
+}
+
+// CanRestart reports whether Restart(pid) is currently legal: recovery model,
+// pid crashed, budget remaining.
+func (c *Controller) CanRestart(pid int) bool {
+	return c.model.Recovery && c.phase[pid] == phaseCrashed && c.restarts < c.model.MaxRestarts
+}
+
+// Restarts returns the number of restarts issued so far.
+func (c *Controller) Restarts() int { return c.restarts }
+
 // grant hands a pending process a run of k steps (crash aborts it instead)
-// and blocks until every process is again blocked or finished.
-func (c *Controller) grant(pid, k int, crash bool) {
+// and blocks until every process is again blocked or finished. stale > 0
+// marks a weak-register read grant returning stale choice stale-1.
+func (c *Controller) grant(pid, k int, crash bool, stale int) {
 	if pid < 0 || pid >= c.n {
 		panic(fmt.Sprintf("sched: grant to process %d outside [0..%d)", pid, c.n))
 	}
@@ -391,17 +565,21 @@ func (c *Controller) grant(pid, k int, crash bool) {
 		panic(fmt.Sprintf("sched: grant to non-pending process %d (phase %s): the policy returned a pid with no posted intent", pid, c.phase[pid]))
 	}
 	// Fold the decision into the schedule fingerprint before executing it:
-	// (pid, posted operation kind, run length, crash bit) per grant uniquely
-	// identifies the interleaving for a fixed body. pid and k are mixed as
-	// separate words so no batch size can alias another pid's decision.
-	c.fp = foldGrant(c.fp, pid, k, c.intent[pid].Kind, crash)
+	// (pid, posted operation kind, run length, crash bit, staleness choice)
+	// per grant uniquely identifies the interleaving for a fixed body. pid
+	// and k are mixed as separate words so no batch size can alias another
+	// pid's decision.
+	c.fp = foldGrant(c.fp, pid, k, c.intent[pid].Kind, crash, stale, false)
 	c.grants++
+	if c.model.Regs != shmem.RegAtomic {
+		c.noteWeakGrant(pid, crash)
+	}
 	if c.st.enabled {
 		c.stateBeforeGrant(pid, k, crash)
 	}
 	if c.tracing {
 		in := c.intent[pid]
-		c.traceBuf = append(c.traceBuf, TraceEvent{Pid: pid, Op: in.Kind, Reg: in.Reg, K: k, Crash: crash})
+		c.traceBuf = append(c.traceBuf, TraceEvent{Pid: pid, Op: in.Kind, Reg: in.Reg, K: k, Crash: crash, Stale: stale})
 	}
 	c.mu.Lock()
 	c.phase[pid] = phaseRunning
@@ -424,7 +602,7 @@ func (c *Controller) grant(pid, k int, crash bool) {
 
 // Step grants one shared-memory operation to a pending process and returns
 // when every process is again blocked or finished.
-func (c *Controller) Step(pid int) { c.grant(pid, 1, false) }
+func (c *Controller) Step(pid int) { c.grant(pid, 1, false, 0) }
 
 // StepN grants a run of k consecutive shared-memory operations to a pending
 // process with a single wakeup, returning when every process is again
@@ -436,7 +614,10 @@ func (c *Controller) StepN(pid, k int) {
 	if k < 1 {
 		panic(fmt.Sprintf("sched: StepN(%d, %d) needs k >= 1", pid, k))
 	}
-	c.grant(pid, k, false)
+	if k > 1 && c.model.Regs != shmem.RegAtomic {
+		panic("sched: StepN batching is not allowed under weak register semantics (stale windows must see every decision)")
+	}
+	c.grant(pid, k, false, 0)
 }
 
 // Crash terminates a pending process before its posted operation executes.
@@ -445,7 +626,7 @@ func (c *Controller) Crash(pid int) {
 	if c.phase[pid] != phasePending {
 		panic(fmt.Sprintf("sched: Crash(%d) of non-pending process (phase %s)", pid, c.phase[pid]))
 	}
-	c.grant(pid, 1, true)
+	c.grant(pid, 1, true, 0)
 }
 
 // Abort crashes every pending process, releasing all goroutines. It is the
@@ -464,6 +645,7 @@ func (c *Controller) Abort() {
 type Result struct {
 	Steps       []int64 // local steps per process
 	Crashed     []bool  // crash-injected processes
+	Restarts    []int   // crash-recovery restarts per process (nil when none)
 	Err         error   // first unexpected panic, if any
 	Fingerprint uint64  // schedule hash of the driven execution (0 for RunFree)
 }
@@ -491,9 +673,15 @@ func (r Result) TotalSteps() int64 {
 
 func (c *Controller) result() Result {
 	res := Result{Steps: make([]int64, c.n), Crashed: make([]bool, c.n), Fingerprint: c.fp}
+	if c.restarts > 0 {
+		res.Restarts = make([]int, c.n)
+	}
 	for i := 0; i < c.n; i++ {
 		res.Steps[i] = c.procs[i].Steps()
 		res.Crashed[i] = c.phase[i] == phaseCrashed
+		if res.Restarts != nil {
+			res.Restarts[i] = c.procs[i].Restarts()
+		}
 		if c.err[i] != nil && res.Err == nil {
 			res.Err = c.err[i]
 		}
@@ -509,10 +697,28 @@ func (c *Controller) result() Result {
 // each decision O(1) instead of O(pending).
 func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
 	ip, iter := policy.(IterPolicy)
+	sp, hasStale := policy.(StalePolicy)
+	hasStale = hasStale && c.model.Regs != shmem.RegAtomic
+	rp, hasRestart := plan.(RestartPlan)
+	hasRestart = hasRestart && c.model.Recovery
 	if !iter && cap(c.pendBuf) < c.n {
 		c.pendBuf = make([]int, 0, c.n)
 	}
-	for c.npending > 0 {
+	for {
+		if hasRestart {
+			// Offer every crashed process back to the plan before each
+			// decision; a restart re-enters the pending set, so the loop
+			// keeps going until both the pending set and the plan's appetite
+			// for restarts are exhausted.
+			for pid := 0; pid < c.n; pid++ {
+				if c.CanRestart(pid) && rp.ShouldRestart(pid, c.procs[pid].Restarts()) {
+					c.Restart(pid)
+				}
+			}
+		}
+		if c.npending == 0 {
+			break
+		}
 		var pid int
 		if iter {
 			pid = ip.NextIter(c)
@@ -523,6 +729,14 @@ func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
 			c.Crash(pid)
 			continue
 		}
+		if hasStale {
+			if k := c.StaleCount(pid); k > 0 {
+				if s := sp.PickStale(c, pid, k); s > 0 {
+					c.StepStale(pid, s-1)
+					continue
+				}
+			}
+		}
 		c.Step(pid)
 	}
 	return c.result()
@@ -531,7 +745,16 @@ func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
 // Run is the one-call entry point: construct a controller, drive it with
 // policy and plan, and return the result.
 func Run(n int, names []int64, policy Policy, plan CrashPlan, body Body) Result {
+	return RunModel(n, names, shmem.Model{}, policy, plan, body)
+}
+
+// RunModel is Run under an explicit fault model (see shmem.Model and
+// SetModel). The zero model makes it identical to Run.
+func RunModel(n int, names []int64, m shmem.Model, policy Policy, plan CrashPlan, body Body) Result {
 	c := NewController(n, names, body)
+	if !m.Atomic() {
+		c.SetModel(m)
+	}
 	return c.Run(policy, plan)
 }
 
@@ -581,6 +804,7 @@ func RunFree(n int, names []int64, body Body) Result {
 type RunSpec struct {
 	N      int
 	Names  []int64 // nil assigns pid+1
+	Model  shmem.Model
 	Policy Policy
 	Plan   CrashPlan // nil injects no crashes
 	Body   Body
@@ -614,7 +838,7 @@ func ParallelRuns(m int, mk func(run int) RunSpec) []Result {
 					return
 				}
 				sp := mk(i)
-				results[i] = Run(sp.N, sp.Names, sp.Policy, sp.Plan, sp.Body)
+				results[i] = RunModel(sp.N, sp.Names, sp.Model, sp.Policy, sp.Plan, sp.Body)
 			}
 		}()
 	}
@@ -695,6 +919,24 @@ func (r *Random) Next(c *Controller, pending []int) int {
 // to crash it instead. steps is the process's local-step count so far.
 type CrashPlan interface {
 	ShouldCrash(pid int, steps int64, intent shmem.Intent) bool
+}
+
+// StalePolicy is the weak-register extension of Policy: under a model with
+// regular or safe registers, Run consults it after picking a process whose
+// pending read has stale alternatives. PickStale returns 0 for the fresh read
+// or 1..count to return stale choice PickStale-1 (see StaleVals). Policies
+// not implementing it always read fresh — the atomic behavior.
+type StalePolicy interface {
+	PickStale(c *Controller, pid, count int) int
+}
+
+// RestartPlan is the crash-recovery extension of CrashPlan: under a recovery
+// model, Run offers every crashed process (with budget remaining) back to the
+// plan before each scheduling decision. restarts is the count of restarts the
+// process has already consumed. Plans not implementing it never restart — the
+// fail-stop behavior.
+type RestartPlan interface {
+	ShouldRestart(pid int, restarts int) bool
 }
 
 // CrashPlanFunc adapts a function to the CrashPlan interface.

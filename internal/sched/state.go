@@ -100,6 +100,11 @@ type Snapshot struct {
 	fp       uint64
 	regHash  [2]uint64
 	procs    []shmem.ProcState
+
+	// Fault-model state (zero under the default model): the restart budget
+	// consumed so far and the pending reads' stale windows at capture time.
+	restarts int
+	stale    [][]int64
 }
 
 // EnableState turns on state capture: read logging on every process, write
@@ -197,9 +202,21 @@ func (c *Controller) StateHash() [2]uint64 {
 	h := c.st.regHash
 	for pid, p := range c.procs {
 		rh := p.ReadHash()
-		pos := uint64(p.Steps())<<8 | uint64(c.phase[pid])
+		pos := uint64(p.Steps())<<8 | uint64(p.Restarts())<<3 | uint64(c.phase[pid])
 		h[0] = xrand.Mix(h[0]^rh[0], uint64(pid)+1) ^ pos
 		h[1] = xrand.Mix(h[1]^rh[1], ^uint64(pid)) + pos
+	}
+	if c.model.Regs != shmem.RegAtomic {
+		// Pending stale windows are part of the state: two points identical in
+		// memory and local histories but with different windows offer the
+		// adversary different futures. XOR-fold (order-insensitive) — a
+		// window is a choice set.
+		for pid := range c.staleWin {
+			for _, v := range c.staleWin[pid] {
+				h[0] ^= xrand.Mix(uint64(pid)+0x51ed, uint64(v))
+				h[1] ^= xrand.Mix(^uint64(pid)-0x51ed, uint64(v))
+			}
+		}
 	}
 	return h
 }
@@ -217,10 +234,19 @@ func (c *Controller) Checkpoint() Snapshot {
 		fp:       c.fp,
 		regHash:  c.st.regHash,
 		procs:    make([]shmem.ProcState, c.n),
+		restarts: c.restarts,
 	}
 	for pid, p := range c.procs {
 		p.StateInto(&s.procs[pid])
 		s.procs[pid].Crashed = c.phase[pid] == phaseCrashed
+	}
+	if c.model.Regs != shmem.RegAtomic {
+		s.stale = make([][]int64, c.n)
+		for pid, w := range c.staleWin {
+			if len(w) > 0 {
+				s.stale[pid] = append([]int64(nil), w...)
+			}
+		}
 	}
 	return s
 }
@@ -261,6 +287,15 @@ func (c *Controller) Restore(s Snapshot, reset func()) {
 	c.traceBuf = c.traceBuf[:s.traceLen]
 	c.fp = s.fp
 	c.grants = s.grants
+	c.restarts = s.restarts
+	if c.model.Regs != shmem.RegAtomic {
+		for pid := range c.staleWin {
+			c.staleWin[pid] = c.staleWin[pid][:0]
+			if s.stale != nil {
+				c.staleWin[pid] = append(c.staleWin[pid], s.stale[pid]...)
+			}
+		}
+	}
 	for pid, p := range c.procs {
 		p.LoadState(s.procs[pid])
 		c.phase[pid] = phaseRunning

@@ -19,6 +19,14 @@ type TraceEvent struct {
 	Reg   any          // the posted operation's register identity
 	K     int          // run length granted (1 for Step, k for StepN)
 	Crash bool         // the grant was a crash: the posted op never executed
+
+	// Fault-model decisions (zero under the default model). Stale > 0 marks a
+	// weak-register read grant that returned stale choice Stale-1 (see
+	// Controller.StepStale); Restart marks a crash-recovery respawn of a
+	// crashed process (Op, Reg and K are zero — a restart grants no
+	// operation).
+	Stale   int
+	Restart bool
 }
 
 // Intent returns the posted operation the event granted (or crashed).
@@ -33,7 +41,12 @@ func (e TraceEvent) Commutes(f TraceEvent) bool {
 	if e.Pid == f.Pid {
 		return false
 	}
-	if e.Crash || f.Crash {
+	if e.Crash || f.Crash || e.Restart || f.Restart {
+		// Crashes and restarts touch no register: a crash discards the posted
+		// op, and a restart only resets another process's local state. Stale
+		// choices need no extra case — a stale read targets the same register
+		// as its fresh form, so the read/write dependence that could reorder
+		// its window is already non-commuting.
 		return true
 	}
 	return e.Intent().Commutes(f.Intent())
@@ -41,8 +54,14 @@ func (e TraceEvent) Commutes(f TraceEvent) bool {
 
 // String renders the event for diagnostics and shrunk-schedule dumps.
 func (e TraceEvent) String() string {
+	if e.Restart {
+		return fmt.Sprintf("restart(%d)", e.Pid)
+	}
 	if e.Crash {
 		return fmt.Sprintf("crash(%d@%s)", e.Pid, e.Op)
+	}
+	if e.Stale > 0 {
+		return fmt.Sprintf("step(%d@%s stale%d)", e.Pid, e.Op, e.Stale-1)
 	}
 	if e.K > 1 {
 		return fmt.Sprintf("step(%d@%s x%d)", e.Pid, e.Op, e.K)
@@ -54,15 +73,23 @@ func (e TraceEvent) String() string {
 type Trace []TraceEvent
 
 // foldGrant mixes one scheduling decision into a schedule fingerprint:
-// (pid, posted operation kind, run length, crash bit) per grant uniquely
-// identifies the interleaving for a fixed body. pid and the event word are
-// mixed separately so no batch size can alias another pid's decision. It is
-// the single fingerprint definition shared by the controller's incremental
-// fold and Trace.Fingerprints.
-func foldGrant(fp uint64, pid, k int, kind shmem.OpKind, crash bool) uint64 {
+// (pid, posted operation kind, run length, crash bit, staleness choice,
+// restart bit) per grant uniquely identifies the interleaving for a fixed
+// body. pid and the event word are mixed separately so no batch size can
+// alias another pid's decision, and the fault-model bits occupy word
+// positions no default-model event can reach, so every pre-knob fingerprint
+// is unchanged. It is the single fingerprint definition shared by the
+// controller's incremental fold and Trace.Fingerprints.
+func foldGrant(fp uint64, pid, k int, kind shmem.OpKind, crash bool, stale int, restart bool) uint64 {
 	ev := uint64(k)<<8 | uint64(kind)<<1
 	if crash {
 		ev |= 1
+	}
+	if restart {
+		ev |= 1 << 62
+	}
+	if stale > 0 {
+		ev |= uint64(stale) << 48
 	}
 	return xrand.Mix(xrand.Mix(fp+1, uint64(pid)), ev)
 }
@@ -88,7 +115,7 @@ func (t Trace) Fingerprints() []uint64 {
 func (t Trace) EachFingerprint(fn func(depth int, fp uint64) bool) {
 	fp := uint64(0)
 	for i, e := range t {
-		fp = foldGrant(fp, e.Pid, e.K, e.Op, e.Crash)
+		fp = foldGrant(fp, e.Pid, e.K, e.Op, e.Crash, e.Stale, e.Restart)
 		if !fn(i, fp) {
 			return
 		}
@@ -131,6 +158,13 @@ func (c *Controller) Trace() Trace {
 // Register identities are per-instance and deliberately not compared.
 func (c *Controller) ApplyTrace(prefix Trace) error {
 	for i, ev := range prefix {
+		if ev.Restart {
+			if ev.Pid < 0 || ev.Pid >= c.n || c.phase[ev.Pid] != phaseCrashed {
+				return fmt.Errorf("sched: trace event %d (%s) restarts a non-crashed process", i, ev)
+			}
+			c.Restart(ev.Pid)
+			continue
+		}
 		if ev.Pid < 0 || ev.Pid >= c.n || c.phase[ev.Pid] != phasePending {
 			return fmt.Errorf("sched: trace event %d (%s) grants a non-pending process", i, ev)
 		}
@@ -140,6 +174,11 @@ func (c *Controller) ApplyTrace(prefix Trace) error {
 		switch {
 		case ev.Crash:
 			c.Crash(ev.Pid)
+		case ev.Stale > 0:
+			if n := c.StaleCount(ev.Pid); ev.Stale > n {
+				return fmt.Errorf("sched: replay diverged at event %d: stale choice %d of %d (model mismatch or non-deterministic body?)", i, ev.Stale-1, n)
+			}
+			c.StepStale(ev.Pid, ev.Stale-1)
 		case ev.K > 1:
 			c.StepN(ev.Pid, ev.K)
 		default:

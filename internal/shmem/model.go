@@ -1,0 +1,124 @@
+package shmem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Model is the fault-model capability knob of the shared-memory layer. The
+// zero value is the paper's model — atomic read-write registers and fail-stop
+// crashes — and every layer above (sched, explore, adversary, model) treats
+// it as the default: a controller with the zero Model behaves bit-for-bit
+// like one built before the knob existed, and the free-running hot path pays
+// nothing for the capability's presence.
+//
+// Three independent axes can be opened:
+//
+//   - Regs weakens the scalar registers (Reg only — Ref registers stay
+//     atomic) from atomic to regular or safe. Under the lockstep scheduler a
+//     read operation is concurrent with every write granted between the
+//     read's intent post and its grant; a regular read may return the value
+//     the register held before any of those overlapping writes (any
+//     pre-overwrite value), and a safe read may additionally return junk,
+//     modeled deterministically as Null. The staleness choice is a
+//     scheduler-level decision (sched.StepStale), so search strategies
+//     branch on it like on any grant.
+//
+//   - Recovery allows a crashed process to restart (sched.Restart): its
+//     registers keep their contents but its local state is lost and the body
+//     re-runs from the beginning — the classic splitter trap. MaxRestarts
+//     bounds the total number of restarts per execution so search trees stay
+//     finite; 0 means "n restarts" (normalized by sched.SetModel).
+//
+//   - OpDelay marks executions driven by op-level latency adversaries:
+//     families that hold one specific pending register operation for k
+//     grants while the rest of the system advances. The axis needs no
+//     scheduler mechanism beyond what Intent inspection already provides —
+//     the flag exists so reproducer lines and conformance columns name the
+//     adversary class they were checked against.
+type Model struct {
+	Regs        RegSemantics
+	Recovery    bool
+	MaxRestarts int // total restart budget; 0 = population size (with Recovery)
+	OpDelay     bool
+}
+
+// RegSemantics selects the consistency guarantee of scalar (Reg) registers.
+type RegSemantics uint8
+
+const (
+	// RegAtomic is the paper's model: reads return the latest written value.
+	RegAtomic RegSemantics = iota
+	// RegRegular allows a read overlapping writes to return any value the
+	// register held while the read was pending (old value or any overwritten
+	// intermediate), but never a value that was never written.
+	RegRegular
+	// RegSafe allows an overlapped read to additionally return junk (Null).
+	// Non-overlapped reads still return the latest value.
+	RegSafe
+)
+
+// String implements fmt.Stringer.
+func (s RegSemantics) String() string {
+	switch s {
+	case RegAtomic:
+		return "atomic"
+	case RegRegular:
+		return "regular"
+	case RegSafe:
+		return "safe"
+	default:
+		return fmt.Sprintf("RegSemantics(%d)", uint8(s))
+	}
+}
+
+// Atomic reports whether m is the default model (atomic registers, fail-stop
+// crashes, no latency marking) — the zero value.
+func (m Model) Atomic() bool { return m == Model{} }
+
+// String renders the model as a stable "+"-joined capability list: "atomic"
+// for the default, otherwise e.g. "regular", "safe+recovery", "opdelay". The
+// restart budget is deliberately not part of the string — reproducer lines
+// carry it separately (restarts=) so old lines stay parseable.
+func (m Model) String() string {
+	var parts []string
+	if m.Regs != RegAtomic {
+		parts = append(parts, m.Regs.String())
+	}
+	if m.Recovery {
+		parts = append(parts, "recovery")
+	}
+	if m.OpDelay {
+		parts = append(parts, "opdelay")
+	}
+	if len(parts) == 0 {
+		return "atomic"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseModel parses the String form back into a Model. The restart budget is
+// not encoded (see String); callers set MaxRestarts from their own context.
+func ParseModel(s string) (Model, error) {
+	var m Model
+	if s == "" || s == "atomic" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "atomic":
+			// explicit default; no-op
+		case "regular":
+			m.Regs = RegRegular
+		case "safe":
+			m.Regs = RegSafe
+		case "recovery":
+			m.Recovery = true
+		case "opdelay":
+			m.OpDelay = true
+		default:
+			return Model{}, fmt.Errorf("shmem: unknown model capability %q in %q", part, s)
+		}
+	}
+	return m, nil
+}

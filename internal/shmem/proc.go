@@ -71,6 +71,21 @@ type Proc struct {
 	readLog   []readRec   // the values read so far, in program order
 	readHash  [2]uint64   // running hash of the read history (local-state id)
 	rp        replayState // catch-up cursor armed by LoadState
+
+	// Weak-register override (see Model): a scheduler granting a stale read
+	// arms the value the read must return instead of the register contents.
+	// Never set on the free-running path, so the knob costs one predictable
+	// branch per scalar read there.
+	staleArm bool
+	staleVal int64
+
+	// Crash-recovery incarnation bookkeeping (see Model.Recovery): a
+	// restarted process keeps its cumulative step count and read log but its
+	// body re-runs from scratch, so catch-up replay must consume only the
+	// current incarnation's reads.
+	incBase   int   // read-log length at the start of the current incarnation
+	baseSteps int64 // cumulative steps at the start of the current incarnation
+	restarts  int   // incarnations spawned beyond the first
 }
 
 // NewProc returns a process handle with index id (0-based) and original name
@@ -124,11 +139,41 @@ func (p *Proc) Read(r *Reg) int64 {
 	}
 	p.step(OpRead, r)
 	v := r.v.Load()
+	if p.staleArm {
+		// A weak-register grant (sched.StepStale) armed a stale value: the
+		// read observes it instead of the current contents. The override is
+		// recorded like any read — the read log is the observed history.
+		v, p.staleArm = p.staleVal, false
+	}
 	if p.recording {
 		p.record(readRec{word: v}, uint64(v))
 	}
 	return v
 }
+
+// ArmStale installs the value the process's next scalar read returns in place
+// of the register contents. It is the weak-register hook for schedulers: the
+// driver arms the adversary-chosen stale value immediately before granting
+// the read. Harness use only; the flag is consumed by the next Read.
+func (p *Proc) ArmStale(v int64) { p.staleArm, p.staleVal = true, v }
+
+// BeginIncarnation marks a crash-recovery restart: the body is about to
+// re-run from scratch while the cumulative step count and read log persist.
+// Catch-up replay (LoadState) of a restarted process consumes only the reads
+// taken since this point. A restart marker is folded into the read-history
+// hash so states differing only in their incarnation structure never alias.
+func (p *Proc) BeginIncarnation() {
+	p.incBase = len(p.readLog)
+	p.baseSteps = p.steps
+	p.restarts++
+	p.staleArm = false
+	if p.recording {
+		p.foldRead(0xc2b2ae3d27d4eb4f ^ uint64(p.restarts))
+	}
+}
+
+// Restarts returns how many times the process has been restarted.
+func (p *Proc) Restarts() int { return p.restarts }
 
 // Write performs a counted atomic write of a scalar register. The version
 // counter is maintained only under state capture (its sole consumer): the

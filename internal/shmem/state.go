@@ -96,6 +96,14 @@ type ProcState struct {
 	Reads    int
 	ReadHash [2]uint64
 	Crashed  bool
+
+	// Crash-recovery incarnation position (zero under the default model): the
+	// read-log index and cumulative step count at which the current
+	// incarnation began, and the restart count. Catch-up replay of a restarted
+	// process re-runs the body from scratch consuming reads from IncBase on.
+	IncBase   int
+	BaseSteps int64
+	Restarts  int
 }
 
 // EnableReadLog turns on read recording: every subsequent counted read
@@ -120,6 +128,9 @@ func (p *Proc) StateInto(s *ProcState) {
 	s.Steps = p.steps
 	s.Reads = len(p.readLog)
 	s.ReadHash = p.readHash
+	s.IncBase = p.incBase
+	s.BaseSteps = p.baseSteps
+	s.Restarts = p.restarts
 }
 
 // LoadState arms the process handle for catch-up replay of a captured
@@ -134,10 +145,19 @@ func (p *Proc) LoadState(s ProcState) {
 	if !p.recording {
 		panic("shmem: Proc.LoadState without EnableReadLog")
 	}
-	p.steps = 0
+	p.steps = s.BaseSteps
 	p.readLog = p.readLog[:s.Reads]
 	p.readHash = s.ReadHash
-	p.rp = replayState{active: true, crash: s.Crashed, target: s.Steps, reads: s.Reads}
+	p.incBase = s.IncBase
+	p.baseSteps = s.BaseSteps
+	p.restarts = s.Restarts
+	p.staleArm = false
+	// Replay covers the current incarnation only: the respawned body re-runs
+	// from scratch (exactly what a restarted process does) consuming reads
+	// from the incarnation base until it has retaken the captured cumulative
+	// step count. Under the default model IncBase and BaseSteps are zero and
+	// this is the original whole-history catch-up.
+	p.rp = replayState{active: true, crash: s.Crashed, target: s.Steps, reads: s.Reads, cur: s.IncBase}
 }
 
 // ReadHash returns the running hash of the process's read history — the
@@ -202,7 +222,7 @@ func (p *Proc) exitReplay() {
 // ClearReplay force-exits catch-up mode without consistency checks; the
 // scheduler's runner calls it when a goroutine unwinds so a stale cursor
 // never leaks into a later respawn.
-func (p *Proc) ClearReplay() { p.rp = replayState{} }
+func (p *Proc) ClearReplay() { p.rp, p.staleArm = replayState{}, false }
 
 // mix64 is the SplitMix64 finalizer, inlined here so shmem (the bottom of
 // the dependency order) does not import xrand.
