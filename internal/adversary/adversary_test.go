@@ -25,7 +25,7 @@ func TestStarverDefersVictim(t *testing.T) {
 	var r shmem.Reg
 	var order []int
 	base := NewStarver(7, n, victim)
-	res := sched.Run(n, nil, sched.PolicyFunc(func(c *sched.Controller, pending []int) int {
+	res := sched.Run(n, nil, sched.PolicyFunc(func(c sched.Engine, pending []int) int {
 		pid := base.Next(c, pending)
 		order = append(order, pid)
 		return pid
@@ -62,7 +62,7 @@ func TestWriteBlockerPrefersReaders(t *testing.T) {
 		p.Read(&b)
 	}
 	wb := NewWriteBlocker(3)
-	res := sched.Run(n, nil, sched.PolicyFunc(func(c *sched.Controller, pending []int) int {
+	res := sched.Run(n, nil, sched.PolicyFunc(func(c sched.Engine, pending []int) int {
 		pid := wb.Next(c, pending)
 		if c.Intent(pid).Kind == shmem.OpWrite {
 			for _, q := range pending {
@@ -109,7 +109,7 @@ func TestCollapseWindow(t *testing.T) {
 	active := make(map[int]bool)
 	done := make(map[int]bool)
 	var mu_order []int
-	res := sched.Run(n, nil, sched.PolicyFunc(func(c *sched.Controller, pending []int) int {
+	res := sched.Run(n, nil, sched.PolicyFunc(func(c sched.Engine, pending []int) int {
 		// Retire window members that terminated since the last decision.
 		for pid := range active {
 			found := false
@@ -156,7 +156,7 @@ func TestLockstepCohortRounds(t *testing.T) {
 		}
 	}
 	var order []int
-	res := sched.Run(n, nil, sched.PolicyFunc(func(c *sched.Controller, pending []int) int {
+	res := sched.Run(n, nil, sched.PolicyFunc(func(c sched.Engine, pending []int) int {
 		pid := ls.Next(c, pending)
 		order = append(order, pid)
 		return pid

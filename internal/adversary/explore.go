@@ -8,6 +8,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/vexec"
 	"repro/internal/xrand"
 )
 
@@ -320,10 +321,31 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 	cell := cellResult{stats: CellStats{Family: fam.Name, N: n, Strategy: strat.Name()}}
 	suite := spec.suiteFor(n, fam.Name)
 	cellSeen := make(map[uint64]struct{}, spec.Runs)
+
+	// Algorithms that compile to frame automata get the vectorized fan-out:
+	// independent (Seeded) cells run on vexec.RunBatch instead of goroutine
+	// controllers. The probe instance is only sniffed for the interface —
+	// per-run instances still come from capOf. Fingerprints are bit-identical
+	// across engines (the vexec differential contract), so violation seeds,
+	// committed reproducer lines, and the goroutine-based Replay/Shrink paths
+	// keep working unchanged against vexec-discovered schedules.
+	var frame func(run int) func(p *shmem.Proc) vexec.Frame
+	if fanned {
+		if _, ok := spec.New(n, seedOf(0)).(vexec.FrameRenamer); ok {
+			frame = func(run int) func(p *shmem.Proc) vexec.Frame {
+				c := capOf(run)
+				fr := c.r.(vexec.FrameRenamer)
+				return func(p *shmem.Proc) vexec.Frame {
+					return vexec.Capture(fr.FrameRename(p.Name()), &c.got[p.ID()], &c.oks[p.ID()])
+				}
+			}
+		}
+	}
 	stats := explore.Drive(strat, explore.Config{
 		N:     n,
 		Model: fam.Model,
 		Names: func(run int) []int64 { return capOf(run).origs },
+		Frame: frame,
 		Body: func(run int) sched.Body {
 			c := capOf(run)
 			return func(p *shmem.Proc) {

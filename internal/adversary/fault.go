@@ -29,12 +29,12 @@ func NewStaleReader(seed uint64) *StaleReader {
 }
 
 // Next implements sched.Policy: uniform over the pending set.
-func (s *StaleReader) Next(c *sched.Controller, pending []int) int {
+func (s *StaleReader) Next(e sched.Engine, pending []int) int {
 	return pending[s.rng.Intn(len(pending))]
 }
 
 // PickStale implements sched.StalePolicy.
-func (s *StaleReader) PickStale(c *sched.Controller, pid, count int) int {
+func (s *StaleReader) PickStale(e sched.Engine, pid, count int) int {
 	if s.rng.Float64() < 0.5 {
 		return 0 // fresh
 	}
@@ -136,7 +136,7 @@ func NewOpDelayer(seed uint64, n int) *OpDelayer {
 // target op is pending, and anyone else is pending, grant the others; a
 // sole-pending victim is granted (the run must terminate — the remaining
 // hold is simply forfeited, as for a victim that crashes or finishes early).
-func (d *OpDelayer) Next(c *sched.Controller, pending []int) int {
+func (d *OpDelayer) Next(e sched.Engine, pending []int) int {
 	if d.hold > 0 {
 		victimPending := false
 		for _, pid := range pending {
@@ -145,7 +145,7 @@ func (d *OpDelayer) Next(c *sched.Controller, pending []int) int {
 				break
 			}
 		}
-		if victimPending && c.Proc(d.victim).Steps() == d.op {
+		if victimPending && e.Proc(d.victim).Steps() == d.op {
 			if len(pending) == 1 {
 				return d.victim
 			}

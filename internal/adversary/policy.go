@@ -42,7 +42,7 @@ func NewStarver(seed uint64, n int, victims ...int) *Starver {
 }
 
 // Next implements sched.Policy.
-func (s *Starver) Next(c *sched.Controller, pending []int) int {
+func (s *Starver) Next(e sched.Engine, pending []int) int {
 	nonVictims := 0
 	for _, pid := range pending {
 		if !s.victim[pid] {
@@ -79,10 +79,10 @@ func NewWriteBlocker(seed uint64) *WriteBlocker {
 }
 
 // Next implements sched.Policy.
-func (w *WriteBlocker) Next(c *sched.Controller, pending []int) int {
+func (w *WriteBlocker) Next(e sched.Engine, pending []int) int {
 	readers := 0
 	for _, pid := range pending {
-		if c.Intent(pid).Kind == shmem.OpRead {
+		if e.Intent(pid).Kind == shmem.OpRead {
 			readers++
 		}
 	}
@@ -91,7 +91,7 @@ func (w *WriteBlocker) Next(c *sched.Controller, pending []int) int {
 	}
 	k := w.rng.Intn(readers)
 	for _, pid := range pending {
-		if c.Intent(pid).Kind == shmem.OpRead {
+		if e.Intent(pid).Kind == shmem.OpRead {
 			if k == 0 {
 				return pid
 			}
@@ -105,9 +105,9 @@ func (w *WriteBlocker) Next(c *sched.Controller, pending []int) int {
 // when a uniform pick is not required to be over the full reader set: it
 // reservoir-samples the readers in one bitmap walk, so Run never builds a
 // pending slice for this policy.
-func (w *WriteBlocker) NextIter(c *sched.Controller) int {
+func (w *WriteBlocker) NextIter(e sched.Engine) int {
 	chosen, seen := -1, 0
-	for pid := c.NextPendingKind(-1, shmem.OpRead); pid >= 0; pid = c.NextPendingKind(pid, shmem.OpRead) {
+	for pid := e.NextPendingKind(-1, shmem.OpRead); pid >= 0; pid = e.NextPendingKind(pid, shmem.OpRead) {
 		seen++
 		if w.rng.Intn(seen) == 0 {
 			chosen = pid
@@ -117,7 +117,7 @@ func (w *WriteBlocker) NextIter(c *sched.Controller) int {
 		return chosen
 	}
 	// All pending processes are writers; release one at random.
-	for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+	for pid := e.NextPending(-1); pid >= 0; pid = e.NextPending(pid) {
 		seen++
 		if w.rng.Intn(seen) == 0 {
 			chosen = pid
@@ -151,7 +151,7 @@ func NewCollapse(seed uint64, n, k int) *Collapse {
 
 // Next implements sched.Policy. At a decision point every live process is
 // pending, so a window member absent from the pending set has terminated.
-func (cl *Collapse) Next(c *sched.Controller, pending []int) int {
+func (cl *Collapse) Next(e sched.Engine, pending []int) int {
 	isPending := func(pid int) bool {
 		for _, q := range pending {
 			if q == pid {
@@ -217,7 +217,7 @@ func NewLockstep(seed uint64, n, g int) *Lockstep {
 
 // Next implements sched.Policy: finish the current cohort's round, then
 // rotate. A cohort with no pending member forfeits its round.
-func (l *Lockstep) Next(c *sched.Controller, pending []int) int {
+func (l *Lockstep) Next(e sched.Engine, pending []int) int {
 	isPending := func(pid int) bool {
 		for _, q := range pending {
 			if q == pid {

@@ -16,7 +16,7 @@ func TestRoundRobinStartsAtZero(t *testing.T) {
 	var log []int
 	rr := &RoundRobin{}
 	var r shmem.Reg
-	res := Run(3, nil, PolicyFunc(func(c *Controller, pending []int) int {
+	res := Run(3, nil, PolicyFunc(func(c Engine, pending []int) int {
 		pid := rr.Next(c, pending)
 		log = append(log, pid)
 		return pid

@@ -115,10 +115,9 @@ type Controller struct {
 	pbits    []uint64 // pending bitmap: bit pid set ⟺ phase[pid] == phasePending
 	npending int
 
-	pendBuf []int  // reused by Run for PendingInto
-	fp      uint64 // incremental schedule fingerprint (see Fingerprint)
-	grants  int64  // scheduling decisions executed (see Grants)
-	body    Body   // retained for Restore's respawn
+	fp     uint64 // incremental schedule fingerprint (see Fingerprint)
+	grants int64  // scheduling decisions executed (see Grants)
+	body   Body   // retained for Restore's respawn
 
 	tracing  bool         // record grants into traceBuf (see EnableTrace)
 	traceBuf []TraceEvent // the recorded grant sequence
@@ -529,7 +528,7 @@ func (c *Controller) Restart(pid int) {
 	if c.restarts >= c.model.MaxRestarts {
 		panic(fmt.Sprintf("sched: Restart(%d) beyond the model's budget of %d", pid, c.model.MaxRestarts))
 	}
-	c.fp = foldGrant(c.fp, pid, 0, 0, false, 0, true)
+	c.fp = FoldGrant(c.fp, pid, 0, 0, false, 0, true)
 	c.grants++
 	c.restarts++
 	if c.tracing {
@@ -569,7 +568,7 @@ func (c *Controller) grant(pid, k int, crash bool, stale int) {
 	// per grant uniquely identifies the interleaving for a fixed body. pid
 	// and k are mixed as separate words so no batch size can alias another
 	// pid's decision.
-	c.fp = foldGrant(c.fp, pid, k, c.intent[pid].Kind, crash, stale, false)
+	c.fp = FoldGrant(c.fp, pid, k, c.intent[pid].Kind, crash, stale, false)
 	c.grants++
 	if c.model.Regs != shmem.RegAtomic {
 		c.noteWeakGrant(pid, crash)
@@ -690,56 +689,15 @@ func (c *Controller) result() Result {
 }
 
 // Run drives the controller with policy (and optional crash plan) until every
-// process has finished or crashed, then returns the execution summary. The
-// pending slice passed to the policy is reused between decisions; policies
-// must not retain it. Policies that also implement IterPolicy are driven
-// through the pending-set iterator and never receive a slice at all, making
-// each decision O(1) instead of O(pending).
+// process has finished or crashed, then returns the execution summary. It is
+// DriveEngine over this controller — the decision loop itself lives in
+// engine.go so both execution engines share it verbatim. The pending slice
+// passed to the policy is reused between decisions; policies must not retain
+// it. Policies that also implement IterPolicy are driven through the
+// pending-set iterator and never receive a slice at all, making each decision
+// O(1) instead of O(pending).
 func (c *Controller) Run(policy Policy, plan CrashPlan) Result {
-	ip, iter := policy.(IterPolicy)
-	sp, hasStale := policy.(StalePolicy)
-	hasStale = hasStale && c.model.Regs != shmem.RegAtomic
-	rp, hasRestart := plan.(RestartPlan)
-	hasRestart = hasRestart && c.model.Recovery
-	if !iter && cap(c.pendBuf) < c.n {
-		c.pendBuf = make([]int, 0, c.n)
-	}
-	for {
-		if hasRestart {
-			// Offer every crashed process back to the plan before each
-			// decision; a restart re-enters the pending set, so the loop
-			// keeps going until both the pending set and the plan's appetite
-			// for restarts are exhausted.
-			for pid := 0; pid < c.n; pid++ {
-				if c.CanRestart(pid) && rp.ShouldRestart(pid, c.procs[pid].Restarts()) {
-					c.Restart(pid)
-				}
-			}
-		}
-		if c.npending == 0 {
-			break
-		}
-		var pid int
-		if iter {
-			pid = ip.NextIter(c)
-		} else {
-			pid = policy.Next(c, c.PendingInto(c.pendBuf))
-		}
-		if plan != nil && plan.ShouldCrash(pid, c.procs[pid].Steps(), c.intent[pid]) {
-			c.Crash(pid)
-			continue
-		}
-		if hasStale {
-			if k := c.StaleCount(pid); k > 0 {
-				if s := sp.PickStale(c, pid, k); s > 0 {
-					c.StepStale(pid, s-1)
-					continue
-				}
-			}
-		}
-		c.Step(pid)
-	}
-	return c.result()
+	return DriveEngine(c, policy, plan)
 }
 
 // Run is the one-call entry point: construct a controller, drive it with
@@ -848,25 +806,26 @@ func ParallelRuns(m int, mk func(run int) RunSpec) []Result {
 
 // Policy chooses the next process to step among the pending ones. The
 // pending slice is sorted by pid and valid only for the duration of the
-// call.
+// call. Policies decide through the Engine seam, so the same policy drives
+// the goroutine controller and the vectorized engine unchanged.
 type Policy interface {
-	Next(c *Controller, pending []int) int
+	Next(e Engine, pending []int) int
 }
 
 // IterPolicy is the allocation-free decision interface: policies that can
-// pick the next process from the controller's pending-set iterator
+// pick the next process from the engine's pending-set iterator
 // (NextPending / PendingCount) implement it in addition to Policy, and Run
 // then never materializes a pending slice. NextIter must return a pending
 // pid; Run guarantees at least one process is pending when it calls.
 type IterPolicy interface {
-	NextIter(c *Controller) int
+	NextIter(e Engine) int
 }
 
 // PolicyFunc adapts a function to the Policy interface.
-type PolicyFunc func(c *Controller, pending []int) int
+type PolicyFunc func(e Engine, pending []int) int
 
 // Next implements Policy.
-func (f PolicyFunc) Next(c *Controller, pending []int) int { return f(c, pending) }
+func (f PolicyFunc) Next(e Engine, pending []int) int { return f(e, pending) }
 
 // RoundRobin cycles through the processes in pid order, starting from pid 0.
 // The zero value is ready to use.
@@ -875,7 +834,7 @@ type RoundRobin struct {
 }
 
 // Next implements Policy.
-func (rr *RoundRobin) Next(c *Controller, pending []int) int {
+func (rr *RoundRobin) Next(e Engine, pending []int) int {
 	for _, pid := range pending {
 		if pid >= rr.next {
 			rr.next = pid + 1
@@ -888,10 +847,10 @@ func (rr *RoundRobin) Next(c *Controller, pending []int) int {
 
 // NextIter implements IterPolicy: an O(1) amortized cyclic scan of the
 // pending bitmap.
-func (rr *RoundRobin) NextIter(c *Controller) int {
-	pid := c.NextPending(rr.next - 1)
+func (rr *RoundRobin) NextIter(e Engine) int {
+	pid := e.NextPending(rr.next - 1)
 	if pid < 0 {
-		pid = c.NextPending(-1)
+		pid = e.NextPending(-1)
 		if pid < 0 {
 			return -1
 		}
@@ -911,8 +870,31 @@ func NewRandom(seed uint64) *Random {
 }
 
 // Next implements Policy.
-func (r *Random) Next(c *Controller, pending []int) int {
+func (r *Random) Next(e Engine, pending []int) int {
 	return pending[r.rng.Intn(len(pending))]
+}
+
+// NthPender is implemented by engines that can select the i-th pending pid
+// (ascending) faster than i NextPending hops — vexec selects it straight
+// out of its pending bitmap.
+type NthPender interface {
+	NthPending(i int) int
+}
+
+// NextIter implements IterPolicy: the identical uniform choice as Next —
+// the r-th pending pid in ascending order for r = Intn(PendingCount) with
+// one rng draw — without materializing the pending slice, so seeded
+// schedules are unchanged while the per-decision O(pending) copy is gone.
+func (r *Random) NextIter(e Engine) int {
+	idx := r.rng.Intn(e.PendingCount())
+	if np, ok := e.(NthPender); ok {
+		return np.NthPending(idx)
+	}
+	pid := e.NextPending(-1)
+	for ; idx > 0; idx-- {
+		pid = e.NextPending(pid)
+	}
+	return pid
 }
 
 // CrashPlan decides, just before a chosen process would take a step, whether
@@ -924,10 +906,13 @@ type CrashPlan interface {
 // StalePolicy is the weak-register extension of Policy: under a model with
 // regular or safe registers, Run consults it after picking a process whose
 // pending read has stale alternatives. PickStale returns 0 for the fresh read
-// or 1..count to return stale choice PickStale-1 (see StaleVals). Policies
-// not implementing it always read fresh — the atomic behavior.
+// or s in 1..count to return stale choice s-1 (see StaleVals) — both boundary
+// values are legal, and the drivers enforce the convention: a return outside
+// [0..count] panics with the convention spelled out (see checkStaleChoice)
+// instead of surfacing as an index panic or silently reading fresh. Policies
+// not implementing the interface always read fresh — the atomic behavior.
 type StalePolicy interface {
-	PickStale(c *Controller, pid, count int) int
+	PickStale(e Engine, pid, count int) int
 }
 
 // RestartPlan is the crash-recovery extension of CrashPlan: under a recovery

@@ -35,7 +35,7 @@ func TestRandomPolicyDeterminism(t *testing.T) {
 	order := func(seed uint64) []int64 {
 		var r shmem.Reg
 		var log []int64
-		Run(5, nil, PolicyFunc(func(c *Controller, pending []int) int {
+		Run(5, nil, PolicyFunc(func(c Engine, pending []int) int {
 			pid := NewRandom(seed).Next(c, pending)
 			log = append(log, int64(pid))
 			return pid

@@ -72,15 +72,17 @@ func (e TraceEvent) String() string {
 // Trace is the grant sequence of one driven execution, in decision order.
 type Trace []TraceEvent
 
-// foldGrant mixes one scheduling decision into a schedule fingerprint:
+// FoldGrant mixes one scheduling decision into a schedule fingerprint:
 // (pid, posted operation kind, run length, crash bit, staleness choice,
 // restart bit) per grant uniquely identifies the interleaving for a fixed
 // body. pid and the event word are mixed separately so no batch size can
 // alias another pid's decision, and the fault-model bits occupy word
 // positions no default-model event can reach, so every pre-knob fingerprint
 // is unchanged. It is the single fingerprint definition shared by the
-// controller's incremental fold and Trace.Fingerprints.
-func foldGrant(fp uint64, pid, k int, kind shmem.OpKind, crash bool, stale int, restart bool) uint64 {
+// controller's incremental fold, Trace.Fingerprints, and any alternative
+// Engine (internal/vexec) — engines must produce bit-identical fingerprints
+// for identical decision sequences, which the differential tests enforce.
+func FoldGrant(fp uint64, pid, k int, kind shmem.OpKind, crash bool, stale int, restart bool) uint64 {
 	ev := uint64(k)<<8 | uint64(kind)<<1
 	if crash {
 		ev |= 1
@@ -115,7 +117,7 @@ func (t Trace) Fingerprints() []uint64 {
 func (t Trace) EachFingerprint(fn func(depth int, fp uint64) bool) {
 	fp := uint64(0)
 	for i, e := range t {
-		fp = foldGrant(fp, e.Pid, e.K, e.Op, e.Crash, e.Stale, e.Restart)
+		fp = FoldGrant(fp, e.Pid, e.K, e.Op, e.Crash, e.Stale, e.Restart)
 		if !fn(i, fp) {
 			return
 		}
@@ -156,36 +158,10 @@ func (c *Controller) Trace() Trace {
 // operation kind posted, otherwise the replay has diverged and an error is
 // returned with the controller left mid-execution (callers should Abort it).
 // Register identities are per-instance and deliberately not compared.
+// It is ApplyTraceTo over this controller — the replay loop lives in
+// engine.go so both execution engines share it verbatim.
 func (c *Controller) ApplyTrace(prefix Trace) error {
-	for i, ev := range prefix {
-		if ev.Restart {
-			if ev.Pid < 0 || ev.Pid >= c.n || c.phase[ev.Pid] != phaseCrashed {
-				return fmt.Errorf("sched: trace event %d (%s) restarts a non-crashed process", i, ev)
-			}
-			c.Restart(ev.Pid)
-			continue
-		}
-		if ev.Pid < 0 || ev.Pid >= c.n || c.phase[ev.Pid] != phasePending {
-			return fmt.Errorf("sched: trace event %d (%s) grants a non-pending process", i, ev)
-		}
-		if got := c.intent[ev.Pid].Kind; got != ev.Op {
-			return fmt.Errorf("sched: replay diverged at event %d: process %d posted %s, trace recorded %s (non-deterministic body?)", i, ev.Pid, got, ev.Op)
-		}
-		switch {
-		case ev.Crash:
-			c.Crash(ev.Pid)
-		case ev.Stale > 0:
-			if n := c.StaleCount(ev.Pid); ev.Stale > n {
-				return fmt.Errorf("sched: replay diverged at event %d: stale choice %d of %d (model mismatch or non-deterministic body?)", i, ev.Stale-1, n)
-			}
-			c.StepStale(ev.Pid, ev.Stale-1)
-		case ev.K > 1:
-			c.StepN(ev.Pid, ev.K)
-		default:
-			c.Step(ev.Pid)
-		}
-	}
-	return nil
+	return ApplyTraceTo(c, prefix)
 }
 
 // ReplayTrace constructs a controller over body and re-applies the grant

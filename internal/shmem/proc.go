@@ -97,6 +97,17 @@ func NewProc(id int, name int64, gate Gate) *Proc {
 	return &Proc{id: id, name: name, gate: gate}
 }
 
+// Reset rewinds the handle in place to the state NewProc(id, name, gate)
+// would return, reusing the read-log allocation. Harness use only: batched
+// engines recycle lanes across independent runs instead of reallocating
+// every handle.
+func (p *Proc) Reset(id int, name int64, gate Gate) {
+	if name < 1 {
+		panic(fmt.Sprintf("shmem: original name %d must be >= 1", name))
+	}
+	*p = Proc{id: id, name: name, gate: gate, readLog: p.readLog[:0]}
+}
+
 // ID returns the process index in [0, n).
 func (p *Proc) ID() int { return p.id }
 

@@ -1,0 +1,134 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/shmem"
+	"repro/internal/vexec"
+)
+
+// collectFrame is the frame compilation of collect: n ReadRefs in segment
+// order, the collected pointers landing in out.
+type collectFrame[T any] struct {
+	o       *Object[T]
+	out     []*segment[T]
+	i       int
+	entered bool
+}
+
+func (f *collectFrame[T]) init(o *Object[T]) {
+	*f = collectFrame[T]{o: o, out: make([]*segment[T], len(o.segs))}
+}
+
+func (f *collectFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+	if f.entered {
+		f.out[f.i] = shmem.ReadRef(p, &f.o.segs[f.i])
+		f.i++
+	}
+	f.entered = true
+	if f.i >= len(f.o.segs) {
+		return vexec.Done
+	}
+	return m.Intend(shmem.OpRead, &f.o.segs[f.i])
+}
+
+// ScanFrame is the frame compilation of Scan. The returned view is delivered
+// through the destination pointer planted by Init (frames returning slices
+// cannot use M.RetI).
+type ScanFrame[T any] struct {
+	o     *Object[T]
+	out   *[]View[T]
+	moved []int
+	prev  []*segment[T]
+	cf    collectFrame[T]
+	pc    uint8
+}
+
+// Init arms the frame for one scan of o; the view lands in *out when the
+// frame finishes.
+func (f *ScanFrame[T]) Init(o *Object[T], out *[]View[T]) {
+	*f = ScanFrame[T]{o: o, out: out, moved: make([]int, len(o.segs))}
+}
+
+func (f *ScanFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		f.cf.init(f.o)
+		return m.Call(&f.cf)
+	case 1:
+		f.prev = f.cf.out
+		f.pc = 2
+		f.cf.init(f.o)
+		return m.Call(&f.cf)
+	default:
+		cur := f.cf.out
+		if sameCollect(f.prev, cur) {
+			*f.out = viewOf(cur)
+			return vexec.Done
+		}
+		n := len(f.o.segs)
+		for i := 0; i < n; i++ {
+			ps, cs := int64(-1), int64(-1)
+			if f.prev[i] != nil {
+				ps = f.prev[i].seq
+			}
+			if cur[i] != nil {
+				cs = cur[i].seq
+			}
+			if ps != cs {
+				f.moved[i]++
+				if f.moved[i] >= 2 {
+					v := make([]View[T], n)
+					copy(v, cur[i].view)
+					*f.out = v
+					return vexec.Done
+				}
+			}
+		}
+		f.prev = cur
+		f.cf.init(f.o)
+		return m.Call(&f.cf)
+	}
+}
+
+// UpdateFrame is the frame compilation of Update: the embedded scan's reads
+// followed by one WriteRef installing the new segment.
+type UpdateFrame[T any] struct {
+	o    *Object[T]
+	i    int
+	v    T
+	sf   ScanFrame[T]
+	view []View[T]
+	seg  *segment[T]
+	pc   uint8
+}
+
+// Init arms the frame to install v as segment i of o.
+func (f *UpdateFrame[T]) Init(o *Object[T], i int, v T) {
+	*f = UpdateFrame[T]{o: o, i: i, v: v}
+}
+
+func (f *UpdateFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+	switch f.pc {
+	case 0:
+		if f.i < 0 || f.i >= len(f.o.segs) {
+			panic(fmt.Sprintf("snapshot: segment %d outside [0..%d)", f.i, len(f.o.segs)))
+		}
+		f.pc = 1
+		f.sf.Init(f.o, &f.view)
+		return m.Call(&f.sf)
+	case 1:
+		old := f.o.segs[f.i].PeekRef()
+		var seq int64 = 1
+		if old != nil {
+			seq = old.seq + 1
+		}
+		f.seg = &segment[T]{data: f.v, set: true, seq: seq, view: f.view}
+		f.pc = 2
+		return m.Intend(shmem.OpWrite, &f.o.segs[f.i])
+	default:
+		shmem.WriteRef(p, &f.o.segs[f.i], f.seg)
+		return vexec.Done
+	}
+}

@@ -1,0 +1,104 @@
+package vexec_test
+
+// Exec.Reset lets RunBatch recycle one engine per worker across thousands of
+// independent runs. The contract is that a recycled engine is
+// indistinguishable from a fresh one: same fingerprints, steps, crash flags
+// and rename results run for run — including when consecutive runs switch
+// fault models (the capability knobs must come back down) and when runs
+// leave lanes crashed or mid-execution state behind.
+
+import (
+	"testing"
+
+	"repro/internal/compete"
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/vexec"
+)
+
+func batchSpecs(t *testing.T, runs int) []vexec.BatchSpec {
+	t.Helper()
+	specs := make([]vexec.BatchSpec, runs)
+	for i := range specs {
+		n := 2 + i%3
+		var m shmem.Model
+		switch i % 4 {
+		case 1:
+			m = shmem.Model{Regs: shmem.RegRegular}
+		case 2:
+			m = shmem.Model{Regs: shmem.RegSafe}
+		case 3:
+			m = shmem.Model{Recovery: true}
+		}
+		var plan sched.CrashPlan
+		if i%5 == 0 {
+			plan = sched.RandomCrashes(uint64(i)*31+7, 0.1, n-1)
+		}
+		ff := compete.NewFirstFit(n)
+		specs[i] = vexec.BatchSpec{
+			N:      n,
+			Model:  m,
+			Policy: sched.NewRandom(uint64(i)*2654435761 + 1),
+			Plan:   plan,
+			Root:   func(p *shmem.Proc) vexec.Frame { return ff.FrameRename(p.Name()) },
+		}
+	}
+	return specs
+}
+
+func TestRunBatchRecycledEnginesMatchFresh(t *testing.T) {
+	const runs = 64
+	// Fresh engine per run: the reference. Policies and plans are stateful,
+	// so each arm gets its own spec list (identical seeds).
+	ref := make([]sched.Result, runs)
+	for i, sp := range batchSpecs(t, runs) {
+		ref[i] = vexec.RunOne(sp)
+	}
+	// RunBatch recycles engines worker-side via Exec.Reset. Lane counts vary
+	// run to run on purpose: the reuse path must handle both the n-matches
+	// recycle and the n-changed reconstruct.
+	specs := batchSpecs(t, runs)
+	got := vexec.RunBatch(runs, func(run int) vexec.BatchSpec { return specs[run] })
+	for i := range ref {
+		if got[i].Fingerprint != ref[i].Fingerprint {
+			t.Fatalf("run %d: recycled fingerprint %#x, fresh %#x", i, got[i].Fingerprint, ref[i].Fingerprint)
+		}
+		for pid := range ref[i].Steps {
+			if got[i].Steps[pid] != ref[i].Steps[pid] || got[i].Crashed[pid] != ref[i].Crashed[pid] {
+				t.Fatalf("run %d pid %d: recycled (steps %d, crashed %v), fresh (steps %d, crashed %v)",
+					i, pid, got[i].Steps[pid], got[i].Crashed[pid], ref[i].Steps[pid], ref[i].Crashed[pid])
+			}
+		}
+	}
+}
+
+func TestResetMatchesNew(t *testing.T) {
+	// Drive a weak-register run with tracing on a fresh engine, then Reset
+	// the same engine for an atomic run and compare against a from-scratch
+	// engine at every decision: the knobs must come back down and no state
+	// may leak across the rewind.
+	ff1 := compete.NewFirstFit(3)
+	e := vexec.New(3, nil, func(p *shmem.Proc) vexec.Frame { return ff1.FrameRename(p.Name()) })
+	e.SetModel(shmem.Model{Regs: shmem.RegRegular})
+	e.EnableTrace()
+	e.Run(sched.NewRandom(7), nil)
+
+	ff2 := compete.NewFirstFit(3)
+	e.Reset(nil, func(p *shmem.Proc) vexec.Frame { return ff2.FrameRename(p.Name()) })
+	if got := e.Model(); got != (shmem.Model{}) {
+		t.Fatalf("Reset kept the fault model %v armed", got)
+	}
+	ff3 := compete.NewFirstFit(3)
+	fresh := vexec.New(3, nil, func(p *shmem.Proc) vexec.Frame { return ff3.FrameRename(p.Name()) })
+	rr1, rr2 := &sched.RoundRobin{}, &sched.RoundRobin{}
+	for fresh.PendingCount() > 0 {
+		e.Step(rr1.NextIter(e))
+		fresh.Step(rr2.NextIter(fresh))
+		if e.Fingerprint() != fresh.Fingerprint() {
+			t.Fatalf("after %d grants: recycled fingerprint %#x, fresh %#x", fresh.Grants(), e.Fingerprint(), fresh.Fingerprint())
+		}
+	}
+	if e.PendingCount() != 0 {
+		t.Fatalf("recycled engine still has %d pending lanes after the fresh one finished", e.PendingCount())
+	}
+}
