@@ -5,7 +5,7 @@
 // observed max-steps against the paper's bound where one is stated, so
 // future performance PRs are judged against a committed baseline. The output
 // path is a required flag — trajectory files are named per PR
-// (BENCH_PR7.json is the latest committed one), and a silent default would
+// (BENCH_PR8.json is the latest committed one), and a silent default would
 // keep overwriting the oldest.
 //
 // Two vectorized-engine sections run unconditionally: vexec_step measures
@@ -14,6 +14,12 @@
 // random schedules through both engines as a batch — cross-checking every
 // per-run fingerprint — and holds the vectorized engine to the >= 10x
 // steps/sec acceptance bar on full (non -quick) runs.
+//
+// The model_engines section runs unconditionally: the same complete
+// model-check walks driven on both execution engines, every checker count
+// cross-checked between them (dedup equality doubles as the state-hash
+// cross-check), with the >= 3x complete-walk acceptance bar on the best
+// sleep-set row of full runs.
 //
 // Two fault-model sections run unconditionally: fault_model_step measures
 // the free-running grant path with each shmem.Model armed and enforces the
@@ -200,6 +206,31 @@ type ParallelEntry struct {
 	SpeedupVsStateless float64 `json:"speedup_vs_stateless,omitempty"`
 }
 
+// EngineCheckEntry is one complete model-check walk driven to exhaustion on
+// both execution engines — the engine-swap economics at the proof layer. The
+// walker visits the identical tree either way (every count is cross-checked
+// before the row is recorded; a divergence fails the bench), so the speedup
+// column is purely the per-grant price of the goroutine rendezvous that the
+// vectorized engine eliminates. Sleep-set rows are replay-dominated — almost
+// all wall-clock is engine-side grant execution — and carry the PR's >= 3x
+// complete-walk acceptance bar; source-DPOR rows restore instead of replay
+// and spend their time in race analysis, so their honest ratio is smaller
+// and they are recorded as context, not gated.
+type EngineCheckEntry struct {
+	Fixture     string  `json:"fixture"`
+	N           int     `json:"n"`
+	MaxCrashes  int     `json:"max_crashes"`
+	Walker      string  `json:"walker"`
+	Executions  int     `json:"executions"`
+	Explored    int     `json:"states_explored"`
+	Replayed    int     `json:"states_replayed"`
+	Restored    int     `json:"states_restored"`
+	Deduped     int     `json:"states_deduped"`
+	GoroutineMs float64 `json:"goroutine_ms"`
+	VexecMs     float64 `json:"vexec_ms"`
+	Speedup     float64 `json:"speedup_vs_goroutine"`
+}
+
 // VexecMicro compares the vectorized engine's grant path against the
 // goroutine engine's on the identical spinning-read workload: one lane
 // stepping through the same round-robin decision loop. The goroutine row it
@@ -237,21 +268,22 @@ type VexecBatch struct {
 
 // Report is the whole trajectory file.
 type Report struct {
-	PR         int               `json:"pr"`
-	Suite      string            `json:"suite"`
-	GoVersion  string            `json:"go_version"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Quick      bool              `json:"quick"`
-	StepN      []Micro           `json:"stepn_batched"`
-	Micro      []MicroPair       `json:"controller_step"`
-	VexecStep  []VexecMicro      `json:"vexec_step"`
-	VexecBatch []VexecBatch      `json:"vexec_batch"`
-	Grid       []GridEntry       `json:"grid"`
-	FaultStep  []FaultMicro      `json:"fault_model_step"`
-	FaultCheck []FaultCheckEntry `json:"fault_model_check"`
-	Adversary  []AdversaryEntry  `json:"adversary,omitempty"`
-	Strategies []StrategyEntry   `json:"strategies,omitempty"`
-	Parallel   []ParallelEntry   `json:"parallel_drive,omitempty"`
+	PR         int                `json:"pr"`
+	Suite      string             `json:"suite"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Quick      bool               `json:"quick"`
+	StepN      []Micro            `json:"stepn_batched"`
+	Micro      []MicroPair        `json:"controller_step"`
+	VexecStep  []VexecMicro       `json:"vexec_step"`
+	VexecBatch []VexecBatch       `json:"vexec_batch"`
+	Grid       []GridEntry        `json:"grid"`
+	FaultStep  []FaultMicro       `json:"fault_model_step"`
+	FaultCheck []FaultCheckEntry  `json:"fault_model_check"`
+	Engines    []EngineCheckEntry `json:"model_engines"`
+	Adversary  []AdversaryEntry   `json:"adversary,omitempty"`
+	Strategies []StrategyEntry    `json:"strategies,omitempty"`
+	Parallel   []ParallelEntry    `json:"parallel_drive,omitempty"`
 }
 
 func mallocs() uint64 {
@@ -743,7 +775,7 @@ func runParallel(workersList []int, quick bool) []ParallelEntry {
 	maxWorkers := runtime.GOMAXPROCS(0)
 	for _, fx := range fixtures {
 		tc, n := byName[fx.name], fx.n
-		run := func(engine model.Engine, workers int) ParallelEntry {
+		run := func(walker model.Walker, workers int) ParallelEntry {
 			// A fan-out wider than the hardware cannot scale; run at the
 			// hardware's width and mark the row instead of recording a
 			// misleading ~1x curve against phantom cores.
@@ -754,7 +786,10 @@ func runParallel(workersList []int, quick bool) []ParallelEntry {
 			rep := model.Check(tc.Name,
 				func() check.Renamer { return tc.New(n, 1) },
 				n, tc.Origs(n, 1), tc.Suite(n, "model"),
-				model.Options{MaxCrashes: fx.maxCrashes, Engine: engine, Workers: actual})
+				// Pinned to the goroutine oracle: these rows measure walker
+				// and fan-out economics against the PR-5 baseline; the
+				// engine-swap win has its own suite section (model_engines).
+				model.Options{MaxCrashes: fx.maxCrashes, Walker: walker, Engine: model.EngineGoroutine, Workers: actual})
 			if rep.Violation != nil {
 				fmt.Fprintf(os.Stderr, "bench: parallel fixture %s n=%d VIOLATED: %v\n", tc.Name, n, rep.Violation)
 				os.Exit(1)
@@ -765,17 +800,17 @@ func runParallel(workersList []int, quick bool) []ParallelEntry {
 			}
 			return ParallelEntry{
 				Fixture: tc.Name, N: n, MaxCrashes: fx.maxCrashes,
-				Engine: engine.String(), Workers: workers,
+				Engine: walker.String(), Workers: workers,
 				HwLimited:  workers > maxWorkers,
 				Executions: rep.Executions, Explored: rep.Explored,
 				Replayed: rep.Replayed, Restored: rep.Restored, Deduped: rep.Deduped,
 				WallMs: float64(rep.Elapsed.Microseconds()) / 1e3, Complete: rep.Complete,
 			}
 		}
-		stateless := run(model.EngineSleepSet, 1)
+		stateless := run(model.WalkerSleepSet, 1)
 		out = append(out, stateless)
 		if fx.maxCrashes == 0 {
-			dpor := run(model.EngineDPOR, 1)
+			dpor := run(model.WalkerDPOR, 1)
 			out = append(out, dpor)
 			fmt.Fprintf(os.Stderr, "parallel %-10s n=%d stateless dpor: %8.1fms  %7d explored  %6d replayed\n",
 				tc.Name, n, dpor.WallMs, dpor.Explored, dpor.Replayed)
@@ -787,7 +822,7 @@ func runParallel(workersList []int, quick bool) []ParallelEntry {
 		sweep := make([]ParallelEntry, 0, len(workersList))
 		var seq ParallelEntry
 		for _, w := range workersList {
-			e := run(model.EngineSourceDPOR, w)
+			e := run(model.WalkerSourceDPOR, w)
 			if w == 1 {
 				seq = e
 			}
@@ -955,6 +990,105 @@ func runFaultCheck() []FaultCheckEntry {
 	return out
 }
 
+// runModelEngines is the PR-8 engine-swap sweep: the same complete
+// model-check walks driven once on the goroutine oracle and once on the
+// vectorized engine. Every count the checker reports — executions, pruned
+// prefixes, decisions, prunes, replays, restores, dedups, completeness — is
+// cross-checked between the two runs before the row is recorded; dedup
+// equality is the state-hash cross-check (the stateful walker merges a node
+// only on a 128-bit hash match, so equal dedup traffic over the whole tree
+// means both engines hashed every revisited state identically). On full runs
+// the best sleep-set row must clear the >= 3x complete-walk acceptance bar.
+func runModelEngines(quick bool) []EngineCheckEntry {
+	byName := map[string]conformance.Case{}
+	for _, tc := range conformance.Cases() {
+		byName[tc.Name] = tc
+	}
+	type fixture struct {
+		name       string
+		n          int
+		maxCrashes int
+		walker     model.Walker
+	}
+	// The sleep-set rows re-execute every prefix grant on the engine under
+	// test (states_replayed dwarfs states_explored), so they isolate engine
+	// cost; the source-DPOR rows restore checkpoints instead and show what
+	// the swap is worth when race analysis dominates.
+	fixtures := []fixture{
+		{"majority", 5, 2, model.WalkerSleepSet},
+		{"majority", 4, 3, model.WalkerSleepSet},
+		{"basic", 4, 3, model.WalkerSleepSet},
+		{"polylog", 3, 2, model.WalkerSleepSet},
+		{"basic", 5, 4, model.WalkerSourceDPOR},
+		{"efficient", 2, 1, model.WalkerSourceDPOR},
+	}
+	if quick {
+		fixtures = []fixture{
+			{"majority", 3, 2, model.WalkerSleepSet},
+			{"firstfit", 2, 1, model.WalkerSourceDPOR},
+		}
+	}
+	var out []EngineCheckEntry
+	bestSleep := 0.0
+	for _, fx := range fixtures {
+		tc := byName[fx.name]
+		measure := func(eng model.Engine) (model.Report, float64) {
+			var rep model.Report
+			var ms float64
+			// Best of three trials; the walks are deterministic, so the
+			// counts cross-check on any trial.
+			for trial := 0; trial < 3; trial++ {
+				r := model.Check(tc.Name,
+					func() check.Renamer { return tc.New(fx.n, 1) },
+					fx.n, tc.Origs(fx.n, 1), tc.Suite(fx.n, "model"),
+					model.Options{MaxCrashes: fx.maxCrashes, Walker: fx.walker, Engine: eng})
+				if r.Violation != nil {
+					fmt.Fprintf(os.Stderr, "bench: model_engines %s n=%d VIOLATED on %s: %v\n", tc.Name, fx.n, eng, r.Violation)
+					os.Exit(1)
+				}
+				if !r.Complete {
+					fmt.Fprintf(os.Stderr, "bench: model_engines %s n=%d did not exhaust on %s; pick a smaller fixture\n", tc.Name, fx.n, eng)
+					os.Exit(1)
+				}
+				if m := float64(r.Elapsed.Microseconds()) / 1e3; trial == 0 || m < ms {
+					ms = m
+				}
+				rep = r
+			}
+			return rep, ms
+		}
+		g, gMs := measure(model.EngineGoroutine)
+		v, vMs := measure(model.EngineVexec)
+		if g.Executions != v.Executions || g.Partial != v.Partial || g.Explored != v.Explored ||
+			g.Pruned != v.Pruned || g.Replayed != v.Replayed || g.Restored != v.Restored ||
+			g.Deduped != v.Deduped || g.Complete != v.Complete {
+			fmt.Fprintf(os.Stderr, "bench: model_engines %s n=%d: engines walked different trees:\n  goroutine %s\n  vexec     %s\n",
+				tc.Name, fx.n, g.Summary(), v.Summary())
+			os.Exit(1)
+		}
+		e := EngineCheckEntry{
+			Fixture: tc.Name, N: fx.n, MaxCrashes: fx.maxCrashes, Walker: fx.walker.String(),
+			Executions: g.Executions, Explored: g.Explored,
+			Replayed: g.Replayed, Restored: g.Restored, Deduped: g.Deduped,
+			GoroutineMs: gMs, VexecMs: vMs,
+		}
+		if vMs > 0 {
+			e.Speedup = gMs / vMs
+		}
+		if fx.walker == model.WalkerSleepSet && e.Speedup > bestSleep {
+			bestSleep = e.Speedup
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "model_engines %-10s n=%d %-10s %8d explored %9d replayed  goroutine %8.1fms  vexec %8.1fms  speedup %5.1fx\n",
+			tc.Name, fx.n, fx.walker, e.Explored, e.Replayed, gMs, vMs, e.Speedup)
+	}
+	if !quick && bestSleep < 3 {
+		fmt.Fprintf(os.Stderr, "bench: model_engines best complete-walk speedup %.1fx is below the 3x acceptance bar\n", bestSleep)
+		os.Exit(1)
+	}
+	return out
+}
+
 func runGrid(sizes []int, runs int) []GridEntry {
 	var out []GridEntry
 	for _, a := range algos {
@@ -1039,8 +1173,8 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         7,
-		Suite:      "vectorized step-function engine (frame automata, batched seeded fan-out)",
+		PR:         8,
+		Suite:      "search on the fast engine (vexec checkpoint/restore, engine-generic exploration)",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -1085,6 +1219,7 @@ func main() {
 	faultSteps := microSteps
 	rep.FaultStep = runFaultStep(8, faultSteps)
 	rep.FaultCheck = runFaultCheck()
+	rep.Engines = runModelEngines(*quick)
 	rep.Grid = runGrid(sizes, *runs)
 	if *adversarial {
 		advRuns := 32

@@ -322,22 +322,23 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 	suite := spec.suiteFor(n, fam.Name)
 	cellSeen := make(map[uint64]struct{}, spec.Runs)
 
-	// Algorithms that compile to frame automata get the vectorized fan-out:
-	// independent (Seeded) cells run on vexec.RunBatch instead of goroutine
-	// controllers. The probe instance is only sniffed for the interface —
-	// per-run instances still come from capOf. Fingerprints are bit-identical
-	// across engines (the vexec differential contract), so violation seeds,
-	// committed reproducer lines, and the goroutine-based Replay/Shrink paths
-	// keep working unchanged against vexec-discovered schedules.
+	// Algorithms that compile to frame automata run on the vectorized engine:
+	// independent (Seeded) cells fan across vexec.RunBatch, sequential
+	// strategies (coverage-guided) recycle one vexec engine per run, and
+	// stateful cells (source DPOR) checkpoint/restore on it — explore's
+	// EngineAuto picks vexec whenever the Frame factory is present. The probe
+	// instance is only sniffed for the interface — per-run instances still
+	// come from capOf. Fingerprints are bit-identical across engines (the
+	// vexec differential contract), so violation seeds, committed reproducer
+	// lines, and the goroutine-based Replay/Shrink paths keep working
+	// unchanged against vexec-discovered schedules.
 	var frame func(run int) func(p *shmem.Proc) vexec.Frame
-	if fanned {
-		if _, ok := spec.New(n, seedOf(0)).(vexec.FrameRenamer); ok {
-			frame = func(run int) func(p *shmem.Proc) vexec.Frame {
-				c := capOf(run)
-				fr := c.r.(vexec.FrameRenamer)
-				return func(p *shmem.Proc) vexec.Frame {
-					return vexec.Capture(fr.FrameRename(p.Name()), &c.got[p.ID()], &c.oks[p.ID()])
-				}
+	if _, ok := spec.New(n, seedOf(0)).(vexec.FrameRenamer); ok {
+		frame = func(run int) func(p *shmem.Proc) vexec.Frame {
+			c := capOf(run)
+			fr := c.r.(vexec.FrameRenamer)
+			return func(p *shmem.Proc) vexec.Frame {
+				return vexec.Capture(fr.FrameRename(p.Name()), &c.got[p.ID()], &c.oks[p.ID()])
 			}
 		}
 	}
@@ -384,7 +385,9 @@ func exploreCell(spec *Spec, fam Family, n int, seen map[uint64]struct{}) cellRe
 					N:      n,
 					Seed:   c.seed,
 					Err:    err,
-					Trace:  tr,
+					// tr aliases the drive's reused trace buffer; the
+					// violation outlives this callback, so copy.
+					Trace: append(sched.Trace(nil), tr...),
 				})
 			}
 			// The run is checked; release its instance so long sequential

@@ -24,7 +24,7 @@ package afrename
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/shmem"
 	"repro/internal/snapshot"
@@ -77,6 +77,7 @@ func (r *Renamer) Rename(p *shmem.Proc, slot int, id int64) (int64, bool) {
 		panic(fmt.Sprintf("afrename: slot %d outside [0..%d)", slot, r.snap.Len()))
 	}
 	prop := int64(1)
+	var taken []int64
 	for attempt := 1; ; attempt++ {
 		if r.MaxName > 0 && prop > r.MaxName {
 			return 0, false
@@ -86,7 +87,7 @@ func (r *Renamer) Rename(p *shmem.Proc, slot int, id int64) (int64, bool) {
 		if unique(view, slot, prop) {
 			return prop, true
 		}
-		prop = freeNameByRank(view, slot, id)
+		prop, taken = freeNameByRank(view, slot, id, taken)
 		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
 			return 0, false
 		}
@@ -109,10 +110,12 @@ func unique(view []snapshot.View[entry], slot int, prop int64) bool {
 
 // freeNameByRank returns the rank-th smallest positive integer not proposed
 // by any other contender in view, where rank is the 1-based rank of id among
-// the identities present.
-func freeNameByRank(view []snapshot.View[entry], slot int, id int64) int64 {
+// the identities present. taken is scratch reused across calls (callers in
+// the attempt loop retain it between rounds); the grown buffer is returned
+// alongside the name.
+func freeNameByRank(view []snapshot.View[entry], slot int, id int64, taken []int64) (int64, []int64) {
 	rank := 1
-	taken := make([]int64, 0, len(view))
+	taken = taken[:0]
 	for i, v := range view {
 		if !v.Set {
 			continue
@@ -124,7 +127,7 @@ func freeNameByRank(view []snapshot.View[entry], slot int, id int64) int64 {
 			taken = append(taken, v.Data.prop)
 		}
 	}
-	sort.Slice(taken, func(i, j int) bool { return taken[i] < taken[j] })
+	slices.Sort(taken)
 	// Walk the positive integers, skipping proposals of others, until the
 	// rank-th free one.
 	free := int64(0)
@@ -133,7 +136,7 @@ func freeNameByRank(view []snapshot.View[entry], slot int, id int64) int64 {
 		for next < tk {
 			free++
 			if free == int64(rank) {
-				return next
+				return next, taken
 			}
 			next++
 		}
@@ -141,5 +144,5 @@ func freeNameByRank(view []snapshot.View[entry], slot int, id int64) int64 {
 			next++
 		}
 	}
-	return next + int64(rank) - free - 1
+	return next + int64(rank) - free - 1, taken
 }

@@ -202,7 +202,7 @@ func TestFreeNameByRank(t *testing.T) {
 	}
 	for i, c := range cases {
 		// The caller's slot is index 0 (unset in mk's construction).
-		if got := freeNameByRank(c.view, 0, c.id); got != c.want {
+		if got, _ := freeNameByRank(c.view, 0, c.id, nil); got != c.want {
 			t.Fatalf("case %d: freeNameByRank = %d, want %d", i, got, c.want)
 		}
 	}

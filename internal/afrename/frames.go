@@ -20,12 +20,18 @@ type RenameFrame struct {
 	uf      snapshot.UpdateFrame[entry]
 	sf      snapshot.ScanFrame[entry]
 	view    []snapshot.View[entry]
+	taken   []int64
 	pc      uint8
 }
 
 // Init arms the frame for one acquisition on r from slot with identity id.
+// The embedded snapshot frames and the taken scratch are re-armed in place,
+// not zeroed, so their buffers carry across acquisitions.
 func (f *RenameFrame) Init(r *Renamer, slot int, id int64) {
-	*f = RenameFrame{r: r, slot: slot, id: id}
+	f.r, f.slot, f.id = r, slot, id
+	f.prop, f.attempt = 0, 0
+	f.view = nil
+	f.pc = 0
 }
 
 func (f *RenameFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
@@ -49,7 +55,7 @@ func (f *RenameFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 		if unique(f.view, f.slot, f.prop) {
 			return m.Return(f.prop, true)
 		}
-		f.prop = freeNameByRank(f.view, f.slot, f.id)
+		f.prop, f.taken = freeNameByRank(f.view, f.slot, f.id, f.taken)
 		if f.r.MaxAttempts > 0 && f.attempt >= f.r.MaxAttempts {
 			return m.Return(0, false)
 		}

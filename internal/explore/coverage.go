@@ -97,13 +97,13 @@ func (cg *CoverageGuided) Novel() int { return cg.novel }
 
 // Next implements Strategy: drive the current genome's policy and plan, with
 // the same decision shape as a seeded run.
-func (cg *CoverageGuided) Next(c *sched.Controller) Choice {
+func (cg *CoverageGuided) Next(e sched.Engine) Choice {
 	if !cg.started {
 		cg.policy, cg.plan = cg.cfgs[cg.cur.cfg].Mk(cg.cur.seed)
 		cg.started = true
 	}
 	cg.stats.Explored++
-	return policyChoice(c, cg.policy, cg.plan, &cg.pendBuf)
+	return policyChoice(e, cg.policy, cg.plan, &cg.pendBuf)
 }
 
 // Backtrack implements Strategy: bank the genome (with its first-novelty

@@ -125,14 +125,14 @@ func (t *Tree) Stats() Stats { return t.stats }
 
 // Next implements Strategy: replay the committed prefix, then extend the
 // branch one frontier node at a time.
-func (t *Tree) Next(c *sched.Controller) Choice {
+func (t *Tree) Next(e sched.Engine) Choice {
 	if t.pos < len(t.stack) {
 		f := &t.stack[t.pos]
 		if f.chosen.Restart {
-			if !c.CanRestart(f.chosen.Pid) {
+			if !e.CanRestart(f.chosen.Pid) {
 				panic(fmt.Sprintf("explore: replay diverged at depth %d: process %d not restartable (non-deterministic body?)", t.pos, f.chosen.Pid))
 			}
-		} else if c.NextPending(f.chosen.Pid-1) != f.chosen.Pid {
+		} else if e.NextPending(f.chosen.Pid-1) != f.chosen.Pid {
 			panic(fmt.Sprintf("explore: replay diverged at depth %d: process %d not pending (non-deterministic body?)", t.pos, f.chosen.Pid))
 		}
 		// Refresh the intents captured in this frame: register identities are
@@ -140,11 +140,11 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 		// always compare this execution's pointers. Restart choices and
 		// entries carry no intent (their process is crashed).
 		if !f.chosen.Restart {
-			f.chosenIn = c.Intent(f.chosen.Pid)
+			f.chosenIn = e.Intent(f.chosen.Pid)
 		}
 		for i := range f.sleep {
 			if !f.sleep[i].restart {
-				f.sleep[i].in = c.Intent(f.sleep[i].pid)
+				f.sleep[i].in = e.Intent(f.sleep[i].pid)
 			}
 		}
 		t.pos++
@@ -157,16 +157,16 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 		}
 		return f.chosen
 	}
-	f := frame{enabled: enabledMask(c)}
+	f := frame{enabled: enabledMask(e)}
 	if t.pos > 0 {
 		parent := &t.stack[t.pos-1]
 		f.crashesBefore = parent.crashesBefore
 		if parent.chosen.Crash {
 			f.crashesBefore++
 		}
-		f.sleep = childSleep(c, parent)
+		f.sleep = childSleep(e, parent)
 	}
-	faultOpen(c, &f)
+	faultOpen(e, &f)
 	// Sleeping transitions are pre-marked done: exploring one would re-derive
 	// a schedule already covered under an earlier sibling.
 	for _, e := range f.sleep {
@@ -225,7 +225,7 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 	// Capture the chosen transition's posted op now: childSleep of the next
 	// frontier node needs it, and replay only refreshes committed frames.
 	if !f.chosen.Restart && f.chosen.Pid >= 0 {
-		f.chosenIn = c.Intent(f.chosen.Pid)
+		f.chosenIn = e.Intent(f.chosen.Pid)
 	}
 	t.stack = append(t.stack, f)
 	t.pos++
@@ -237,8 +237,8 @@ func (t *Tree) Next(c *sched.Controller) Choice {
 // inherited entries that are independent of the chosen transition, plus the
 // parent's previously explored (or pruned) siblings, filtered the same way.
 // All surviving entries belong to processes other than the chosen one, so
-// their posted intents are live on the controller.
-func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
+// their posted intents are live on the engine.
+func childSleep(e sched.Engine, parent *frame) []sleepEntry {
 	ch, chIn := parent.chosen, parent.chosenIn
 	chFault := ch.Crash || ch.Restart
 	var out []sleepEntry
@@ -274,7 +274,7 @@ func childSleep(c *sched.Controller, parent *frame) []sleepEntry {
 		if pid == ch.Pid {
 			continue // the chosen transition itself, or its same-pid sibling
 		}
-		in := c.Intent(pid)
+		in := e.Intent(pid)
 		if independent(pid, false, in, ch.Pid, chFault, chIn) {
 			add(sleepEntry{pid: pid, in: in})
 		}

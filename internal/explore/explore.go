@@ -105,13 +105,17 @@ type Stats struct {
 type Strategy interface {
 	// Name labels the strategy in reports and bench output.
 	Name() string
-	// Next picks the decision at the current point: the controller exposes
+	// Next picks the decision at the current point: the engine exposes
 	// the pending set, each pending process's posted Intent, and the
 	// commutation metadata (IntentsCommute) — exactly the paper's adversary
-	// view plus the independence structure search needs.
-	Next(c *sched.Controller) Choice
+	// view plus the independence structure search needs. Strategies see
+	// sched.Engine, never a concrete engine: the same search drives the
+	// goroutine oracle and the vectorized step-function engine unchanged.
+	Next(e sched.Engine) Choice
 	// Backtrack consumes a finished execution's trace and result, updating
 	// the search frontier. It returns true while more executions are wanted.
+	// Like Config.OnResult, the trace aliases a reused buffer: it is valid
+	// only during the call and must be copied to retain.
 	Backtrack(t sched.Trace, res sched.Result) bool
 	// Stats reports the search effort so far.
 	Stats() Stats
@@ -129,17 +133,17 @@ type Independent interface {
 }
 
 // Stateful is implemented by strategies that search over one persistent
-// controller with checkpoint/restore (sched.Checkpoint / sched.Restore)
-// instead of rebuilding a fresh instance and replaying the choice prefix per
-// execution. Drive builds the controller once — from run 0's body — with
-// state capture enabled, and calls BacktrackState in place of Backtrack at
-// the end of every execution: the strategy restores the controller to its
-// next frontier node (passing reset through to sched.Restore so the caller
-// can clear body-external capture arrays before the respawn) and returns
-// false when the search is exhausted.
+// engine with checkpoint/restore (sched.StateEngine) instead of rebuilding a
+// fresh instance and replaying the choice prefix per execution. Drive builds
+// the engine once — from run 0's body (or frame factory) — with state capture
+// enabled, and calls BacktrackState in place of Backtrack at the end of every
+// execution: the strategy restores the engine to its next frontier node
+// (passing reset through to Restore so the caller can clear body-external
+// capture arrays before the catch-up) and returns false when the search is
+// exhausted.
 type Stateful interface {
 	Strategy
-	BacktrackState(c *sched.Controller, t sched.Trace, res sched.Result, reset func()) bool
+	BacktrackState(e sched.StateEngine, t sched.Trace, res sched.Result, reset func()) bool
 }
 
 // Seeder is implemented by strategies that dictate the instance seed of each
@@ -152,6 +156,25 @@ type Seeder interface {
 	// strategies it is only valid for the next execution to start.
 	RunSeed(run int) uint64
 }
+
+// EngineKind selects the execution engine sequential and stateful drives
+// construct per execution (the Independent fast path has always chosen by
+// Frame presence and is unaffected by the explicit settings).
+type EngineKind int
+
+const (
+	// EngineAuto picks the vectorized engine whenever Config.Frame is set and
+	// falls back to the goroutine oracle otherwise. The engines are
+	// bit-identical on the decision surface (same Results, fingerprints and —
+	// for scalar-register algorithms — state hashes), so auto-selection
+	// changes wall-clock, not outcomes.
+	EngineAuto EngineKind = iota
+	// EngineGoroutine forces the goroutine oracle (sched.NewController) even
+	// when a Frame factory is available — the conformance cross-check path.
+	EngineGoroutine
+	// EngineVexec forces the vectorized engine; Config.Frame must be set.
+	EngineVexec
+)
 
 // Config describes the system a strategy searches over.
 type Config struct {
@@ -173,15 +196,22 @@ type Config struct {
 	// Body(run)'s. Strategies whose runs are independent (Seeded) are then
 	// fanned across vexec.RunBatch — no goroutines, no gate handoffs — with
 	// bit-identical results and fingerprints (the vexec differential suite's
-	// contract). Sequential and stateful strategies ignore it: their decision
-	// surface is the goroutine controller.
+	// contract). Sequential and stateful strategies drive a vexec.Exec built
+	// from it when Engine selects the vectorized engine (EngineAuto does so
+	// whenever Frame is non-nil).
 	Frame func(run int) func(p *shmem.Proc) vexec.Frame
+	// Engine picks the execution engine for sequential and stateful drives;
+	// the zero value (EngineAuto) uses vexec exactly when Frame is set.
+	Engine EngineKind
 	// MaxExecutions hard-caps the number of executions regardless of the
 	// strategy's own budget; 0 means the strategy decides.
 	MaxExecutions int
 	// OnResult observes each *completed* execution (abandoned ones are
 	// skipped): its run index, recorded trace, and result. Returning false
 	// stops the drive — how invariant checkers abort on first violation.
+	// The trace aliases a buffer the drive reuses across executions: it is
+	// only valid during the call, and a callback that retains it (to report a
+	// violation, say) must copy it first.
 	OnResult func(run int, t sched.Trace, res sched.Result) bool
 	// Reset clears body-external per-execution capture (outcome arrays the
 	// body writes into) before a stateful strategy's restore respawns the
@@ -197,6 +227,51 @@ func (cfg *Config) names(run int) []int64 {
 	return nil
 }
 
+// vexecSelected reports whether sequential/stateful executions run on the
+// vectorized engine under cfg's Engine setting.
+func (cfg *Config) vexecSelected() bool {
+	switch cfg.Engine {
+	case EngineVexec:
+		if cfg.Frame == nil {
+			panic("explore: Config.Engine = EngineVexec without a Frame factory")
+		}
+		return true
+	case EngineAuto:
+		return cfg.Frame != nil
+	}
+	return false
+}
+
+// newEngine constructs the execution engine for one sequential (or, with
+// run 0, stateful) execution: a fresh system instance behind the state-capable
+// search surface, fault model applied. Both concrete engines implement
+// sched.StateEngine, so the caller arms tracing or state capture itself.
+//
+// prev, when non-nil, is the engine of the previous execution, offered for
+// in-place reuse: the vectorized engine rewinds via Reset — recycling lanes,
+// machines and bitmaps across the thousands of executions a tree walk drives
+// — while the goroutine engine is rebuilt per run (its lanes are goroutines;
+// construction IS the spawn).
+func newEngine(cfg *Config, run int, prev sched.StateEngine) sched.StateEngine {
+	if cfg.vexecSelected() {
+		e, ok := prev.(*vexec.Exec)
+		if ok {
+			e.Reset(cfg.names(run), cfg.Frame(run))
+		} else {
+			e = vexec.New(cfg.N, cfg.names(run), cfg.Frame(run))
+		}
+		if !cfg.Model.Atomic() {
+			e.SetModel(cfg.Model)
+		}
+		return e
+	}
+	c := sched.NewController(cfg.N, cfg.names(run), cfg.Body(run))
+	if !cfg.Model.Atomic() {
+		c.SetModel(cfg.Model)
+	}
+	return c
+}
+
 // Drive runs the strategy's executions over fresh instances from cfg.Body
 // until the strategy declines more, the execution cap is hit, or OnResult
 // stops it. Strategies implementing Independent are fanned across workers
@@ -210,15 +285,14 @@ func Drive(s Strategy, cfg Config) Stats {
 		return driveStateful(ss, cfg)
 	}
 	run := 0
+	var tbuf sched.Trace // reused across executions; see Config.OnResult
+	var e sched.StateEngine
 	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
-		c := sched.NewController(cfg.N, cfg.names(run), cfg.Body(run))
-		if !cfg.Model.Atomic() {
-			c.SetModel(cfg.Model)
-		}
-		c.EnableTrace()
+		e = newEngine(&cfg, run, e)
+		e.EnableTrace()
 		abandoned := false
-		for live(c) {
-			ch := s.Next(c)
+		for live(e) {
+			ch := s.Next(e)
 			if ch.Pid == Halt.Pid {
 				break
 			}
@@ -226,12 +300,13 @@ func Drive(s Strategy, cfg Config) Stats {
 				abandoned = true
 				break
 			}
-			dispatch(c, ch)
+			dispatch(e, ch)
 		}
 		if abandoned {
-			c.Abort()
+			e.Abort()
 		}
-		t, res := c.Trace(), c.Result()
+		tbuf = e.TraceInto(tbuf)
+		t, res := tbuf, e.Result()
 		// Observe before Backtrack mutates the strategy's cursor: checkers
 		// may read per-run state (the coverage-guided genome) that the next
 		// run replaces.
@@ -248,64 +323,62 @@ func Drive(s Strategy, cfg Config) Stats {
 
 // live reports whether the in-flight execution still has decisions: a pending
 // process, or (recovery models) a crashed process the adversary may restart.
-func live(c *sched.Controller) bool {
-	if c.PendingCount() > 0 {
+func live(e sched.Engine) bool {
+	if e.PendingCount() > 0 {
 		return true
 	}
-	return restartableMask(c) != 0
+	return restartableMask(e) != 0
 }
 
-// dispatch executes one strategy choice on the controller.
-func dispatch(c *sched.Controller, ch Choice) {
+// dispatch executes one strategy choice on the engine.
+func dispatch(e sched.Engine, ch Choice) {
 	switch {
 	case ch.Restart:
-		c.Restart(ch.Pid)
+		e.Restart(ch.Pid)
 	case ch.Crash:
-		c.Crash(ch.Pid)
+		e.Crash(ch.Pid)
 	case ch.Stale > 0:
-		c.StepStale(ch.Pid, ch.Stale-1)
+		e.StepStale(ch.Pid, ch.Stale-1)
 	case ch.K > 1:
-		c.StepN(ch.Pid, ch.K)
+		e.StepN(ch.Pid, ch.K)
 	default:
-		c.Step(ch.Pid)
+		e.Step(ch.Pid)
 	}
 }
 
 // restartableMask collects the crashed processes Restart currently accepts.
-func restartableMask(c *sched.Controller) uint64 {
-	if !c.Model().Recovery {
+func restartableMask(e sched.Engine) uint64 {
+	if !e.Model().Recovery {
 		return 0
 	}
 	var m uint64
-	for pid := 0; pid < c.N(); pid++ {
-		if c.CanRestart(pid) {
+	for pid := 0; pid < e.N(); pid++ {
+		if e.CanRestart(pid) {
 			m |= 1 << uint(pid)
 		}
 	}
 	return m
 }
 
-// driveStateful is the checkpoint/restore drive: one controller, one
-// instance, built from run 0's body and never rebuilt. The strategy extends
-// the in-flight execution decision by decision; at every backtrack the
-// strategy restores the controller to the frontier node — no grant is ever
+// driveStateful is the checkpoint/restore drive: one engine, one instance,
+// built from run 0's body (or frame factory) and never rebuilt. The strategy
+// extends the in-flight execution decision by decision; at every backtrack
+// the strategy restores the engine to the frontier node — no grant is ever
 // re-executed, so the Replayed accounting of stateless tree search stays at
 // zero by construction.
 func driveStateful(s Stateful, cfg Config) Stats {
-	c := sched.NewController(cfg.N, cfg.names(0), cfg.Body(0))
-	if !cfg.Model.Atomic() {
-		c.SetModel(cfg.Model)
-	}
-	c.EnableState()
+	e := newEngine(&cfg, 0, nil)
+	e.EnableState()
 	// The loop shape mirrors the stateless drive exactly: BacktrackState is
 	// called on every finished execution — including the one that hits
 	// MaxExecutions — so the cap never loses an execution from the stats or
 	// its races from the backtrack sets.
 	run := 0
+	var tbuf sched.Trace // reused across executions; see Config.OnResult
 	for cfg.MaxExecutions <= 0 || run < cfg.MaxExecutions {
 		abandoned := false
-		for live(c) {
-			ch := s.Next(c)
+		for live(e) {
+			ch := s.Next(e)
 			if ch.Pid == Halt.Pid {
 				break
 			}
@@ -313,18 +386,19 @@ func driveStateful(s Stateful, cfg Config) Stats {
 				abandoned = true
 				break
 			}
-			dispatch(c, ch)
+			dispatch(e, ch)
 		}
-		t, res := c.Trace(), c.Result()
+		tbuf = e.TraceInto(tbuf)
+		t, res := tbuf, e.Result()
 		if !abandoned && cfg.OnResult != nil && !cfg.OnResult(run, t, res) {
 			break
 		}
 		run++
-		if !s.BacktrackState(c, t, res, cfg.Reset) {
+		if !s.BacktrackState(e, t, res, cfg.Reset) {
 			break
 		}
 	}
-	c.Abort() // release a partially driven final execution, if any
+	e.Abort() // release a partially driven final execution, if any
 	return s.Stats()
 }
 
@@ -396,32 +470,32 @@ func driveParallel(s Strategy, ind Independent, cfg Config) Stats {
 // process first, a pending-free state with restarts declined halts, and a
 // policy implementing sched.StalePolicy picks among a weak read's stale
 // alternatives. pendBuf is the caller's reusable pending-slice buffer.
-func policyChoice(c *sched.Controller, policy sched.Policy, plan sched.CrashPlan, pendBuf *[]int) Choice {
-	if rp, ok := plan.(sched.RestartPlan); ok && c.Model().Recovery {
-		for pid := 0; pid < c.N(); pid++ {
-			if c.CanRestart(pid) && rp.ShouldRestart(pid, c.Proc(pid).Restarts()) {
+func policyChoice(e sched.Engine, policy sched.Policy, plan sched.CrashPlan, pendBuf *[]int) Choice {
+	if rp, ok := plan.(sched.RestartPlan); ok && e.Model().Recovery {
+		for pid := 0; pid < e.N(); pid++ {
+			if e.CanRestart(pid) && rp.ShouldRestart(pid, e.Proc(pid).Restarts()) {
 				return Choice{Pid: pid, Restart: true}
 			}
 		}
 	}
-	if c.PendingCount() == 0 {
+	if e.PendingCount() == 0 {
 		return Halt
 	}
 	var pid int
 	if ip, ok := policy.(sched.IterPolicy); ok {
-		pid = ip.NextIter(c)
+		pid = ip.NextIter(e)
 	} else {
-		if cap(*pendBuf) < c.N() {
-			*pendBuf = make([]int, 0, c.N())
+		if cap(*pendBuf) < e.N() {
+			*pendBuf = make([]int, 0, e.N())
 		}
-		pid = policy.Next(c, c.PendingInto(*pendBuf))
+		pid = policy.Next(e, e.PendingInto(*pendBuf))
 	}
-	if plan != nil && plan.ShouldCrash(pid, c.Proc(pid).Steps(), c.Intent(pid)) {
+	if plan != nil && plan.ShouldCrash(pid, e.Proc(pid).Steps(), e.Intent(pid)) {
 		return Choice{Pid: pid, Crash: true}
 	}
-	if sp, ok := policy.(sched.StalePolicy); ok && c.Model().Regs != shmem.RegAtomic {
-		if k := c.StaleCount(pid); k > 0 {
-			s := sp.PickStale(c, pid, k)
+	if sp, ok := policy.(sched.StalePolicy); ok && e.Model().Regs != shmem.RegAtomic {
+		if k := e.StaleCount(pid); k > 0 {
+			s := sp.PickStale(e, pid, k)
 			sched.CheckStaleChoice(s, k)
 			if s > 0 {
 				return Choice{Pid: pid, Stale: s}
@@ -447,12 +521,12 @@ func independent(p int, pCrash bool, pIn shmem.Intent, q int, qCrash bool, qIn s
 // enabledMask collects the pending set as a bitmask. Tree strategies are
 // built for tiny populations; 64 pids is far beyond what an exhaustive or
 // DPOR search can sweep anyway.
-func enabledMask(c *sched.Controller) uint64 {
-	if c.N() > 64 {
-		panic(fmt.Sprintf("explore: tree strategies support at most 64 processes, got %d", c.N()))
+func enabledMask(e sched.Engine) uint64 {
+	if e.N() > 64 {
+		panic(fmt.Sprintf("explore: tree strategies support at most 64 processes, got %d", e.N()))
 	}
 	var m uint64
-	for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+	for pid := e.NextPending(-1); pid >= 0; pid = e.NextPending(pid) {
 		m |= 1 << uint(pid)
 	}
 	return m

@@ -291,8 +291,8 @@ func TestSeededSequentialMatchesParallel(t *testing.T) {
 // Next/Backtrack path.
 type sequentialOnly struct{ s Strategy }
 
-func (w sequentialOnly) Name() string                    { return w.s.Name() }
-func (w sequentialOnly) Next(c *sched.Controller) Choice { return w.s.Next(c) }
+func (w sequentialOnly) Name() string               { return w.s.Name() }
+func (w sequentialOnly) Next(e sched.Engine) Choice { return w.s.Next(e) }
 func (w sequentialOnly) Backtrack(t sched.Trace, res sched.Result) bool {
 	return w.s.Backtrack(t, res)
 }

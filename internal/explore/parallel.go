@@ -57,14 +57,14 @@ type ParallelSpec struct {
 // system cfg describes: one step choice per initially pending process, plus
 // one crash choice per process when crashes branch.
 func RootChoices(cfg Config, maxCrashes int) []Choice {
-	c := sched.NewController(cfg.N, cfg.names(0), cfg.Body(0))
-	defer c.Abort()
+	e := newEngine(&cfg, 0, nil)
+	defer e.Abort()
 	var roots []Choice
-	for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+	for pid := e.NextPending(-1); pid >= 0; pid = e.NextPending(pid) {
 		roots = append(roots, Choice{Pid: pid})
 	}
 	if maxCrashes > 0 {
-		for pid := c.NextPending(-1); pid >= 0; pid = c.NextPending(pid) {
+		for pid := e.NextPending(-1); pid >= 0; pid = e.NextPending(pid) {
 			roots = append(roots, Choice{Pid: pid, Crash: true})
 		}
 	}

@@ -53,13 +53,13 @@ func (s *Seeded) RunSeed(run int) uint64 { return s.seed(run) }
 // Next implements Strategy: the sched.Run decision loop — IterPolicy if the
 // policy offers it, else a materialized pending slice — followed by the crash
 // plan's veto, exactly the semantics a driven run has.
-func (s *Seeded) Next(c *sched.Controller) Choice {
+func (s *Seeded) Next(e sched.Engine) Choice {
 	if !s.started {
 		s.policy, s.plan = s.mk(s.run)
 		s.started = true
 	}
 	s.stats.Explored++
-	return policyChoice(c, s.policy, s.plan, &s.pendBuf)
+	return policyChoice(e, s.policy, s.plan, &s.pendBuf)
 }
 
 // Backtrack implements Strategy: advance to the next run seed.

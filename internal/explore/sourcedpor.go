@@ -22,10 +22,10 @@ import (
 //     process" over-approximation. Fewer scheduled points, same guarantee:
 //     at least one representative per Mazurkiewicz trace.
 //
-//   - Each node carries a sched.Snapshot; backtracking restores it in
-//     O(changes since the node) rather than re-executing the O(depth)
-//     prefix, so Stats.Replayed is zero by construction and Stats.Restored
-//     counts the restores.
+//   - Each node carries the engine's checkpoint (sched.ExecState);
+//     backtracking restores it in O(changes since the node) rather than
+//     re-executing the O(depth) prefix, so Stats.Replayed is zero by
+//     construction and Stats.Restored counts the restores.
 //
 //   - Nodes whose complete state (registers + every process's read-history
 //     hash) was already exhaustively explored are cut (Stats.Deduped).
@@ -58,7 +58,7 @@ type SourceDPOR struct {
 // subset test), and the accumulated subtree footprint.
 type sframe struct {
 	frame
-	snap          sched.Snapshot
+	snap          sched.ExecState
 	key           [2]uint64
 	sleepStep     uint64
 	sleepCrash    uint64
@@ -148,9 +148,12 @@ func (t *SourceDPOR) Backtrack(tr sched.Trace, res sched.Result) bool {
 }
 
 // Next implements Strategy. Unlike the stateless Tree there is no replay
-// phase: the controller is already at the frontier, so Next either commits
-// the choice BacktrackState just picked or opens a new node.
-func (t *SourceDPOR) Next(c *sched.Controller) Choice {
+// phase: the engine is already at the frontier, so Next either commits the
+// choice BacktrackState just picked or opens a new node. The stateful walk
+// needs the checkpoint/StateHash surface, so the engine must be a
+// sched.StateEngine (both concrete engines are).
+func (t *SourceDPOR) Next(eng sched.Engine) Choice {
+	c := eng.(sched.StateEngine)
 	if t.resumeAt >= 0 {
 		f := &t.stack[t.resumeAt]
 		t.resumeAt = -1
@@ -248,7 +251,7 @@ func (t *SourceDPOR) Next(c *sched.Controller) Choice {
 // access in the subtree footprint (dedup mode only — footprints exist to
 // replay a closed subtree's race obligations at a dedup cut), and count the
 // decision.
-func (t *SourceDPOR) commit(c *sched.Controller, f *sframe) {
+func (t *SourceDPOR) commit(c sched.Engine, f *sframe) {
 	if f.chosen.Restart || f.chosen.Pid < 0 {
 		// Restarts carry no intent (the process is crashed) and Halt grants
 		// nothing; neither touches a register, so no footprint entry either.
@@ -267,9 +270,9 @@ func (t *SourceDPOR) commit(c *sched.Controller, f *sframe) {
 
 // BacktrackState implements Stateful: fold the finished execution's races
 // into the backtrack sets, close and pop exhausted frames (recording their
-// states in the dedup table), and restore the controller to the deepest
-// frame with an unexplored scheduled choice.
-func (t *SourceDPOR) BacktrackState(c *sched.Controller, tr sched.Trace, res sched.Result, reset func()) bool {
+// states in the dedup table), and restore the engine to the deepest frame
+// with an unexplored scheduled choice.
+func (t *SourceDPOR) BacktrackState(c sched.StateEngine, tr sched.Trace, res sched.Result, reset func()) bool {
 	if t.abandoned {
 		t.abandoned = false
 		t.stats.Partial++
@@ -280,10 +283,17 @@ func (t *SourceDPOR) BacktrackState(c *sched.Controller, tr sched.Trace, res sch
 	if t.budget > 0 && t.stats.Executions+t.stats.Partial >= t.budget {
 		return false
 	}
+	releaser, _ := c.(sched.StateReleaser)
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		f := &t.stack[i]
 		if !frameOpen(&f.frame) {
 			t.closeFrame(i)
+			if releaser != nil {
+				// The frame is fully explored: its checkpoint will never be
+				// restored again, so the engine may recycle the capture.
+				releaser.ReleaseState(f.snap)
+			}
+			f.snap = nil
 			t.stack = t.stack[:i]
 			continue
 		}
@@ -373,6 +383,19 @@ type raceScratch struct {
 	words   int
 }
 
+// growClear resizes buf to length n with every element zeroed, reusing the
+// backing array when it is big enough — the allocation-free replacement for
+// the append(buf[:0], make([]T, n)...) idiom, which allocates the zero slice
+// it copies from on every call.
+func growClear[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // bit helpers over packed rows of width s.words.
 func (s *raceScratch) row(r []uint64, j int) []uint64 { return r[j*s.words : (j+1)*s.words] }
 func rowGet(row []uint64, i int) bool                 { return row[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -393,8 +416,8 @@ func (s *raceScratch) prepare(tr sched.Trace) {
 		s.regKey = make(map[any]int32)
 	}
 	clear(s.regKey)
-	s.keys = append(s.keys[:0], make([]int32, L)...)
-	s.writes = append(s.writes[:0], make([]bool, L)...)
+	s.keys = growClear(s.keys, L)
+	s.writes = growClear(s.writes, L)
 	for j, e := range tr {
 		if e.Crash || e.Restart {
 			s.keys[j] = -1
@@ -409,9 +432,8 @@ func (s *raceScratch) prepare(tr sched.Trace) {
 		s.writes[j] = e.Op == shmem.OpWrite
 	}
 	s.words = (L + 63) / 64
-	need := L * s.words
-	s.hb = append(s.hb[:0], make([]uint64, need)...)
-	s.covered = append(s.covered[:0], make([]uint64, s.words)...)
+	s.hb = growClear(s.hb, L*s.words)
+	s.covered = growClear(s.covered, s.words)
 	for j := 1; j < L; j++ {
 		hbj := s.row(s.hb, j)
 		for m := 0; m < j; m++ {
@@ -584,11 +606,11 @@ func frameOpen(f *frame) bool {
 	return f.haltBt && !f.haltDone
 }
 
-// faultOpen seeds a frame's fault-model branching from the live controller:
+// faultOpen seeds a frame's fault-model branching from the live engine:
 // the restartable mask (scheduled exhaustively, like crashes), the Halt
 // branch of pending-free nodes, and the stale-variant counts of every
 // enabled pending read. No-op under the default model.
-func faultOpen(c *sched.Controller, f *frame) {
+func faultOpen(c sched.Engine, f *frame) {
 	m := c.Model()
 	if m.Recovery {
 		f.restartable = restartableMask(c)

@@ -59,9 +59,13 @@ func NewGrid(k int) *Grid {
 	if k < 1 {
 		panic("marename: grid needs k >= 1")
 	}
+	// One flat backing array for all k(k+1)/2 cells; rows are full-capacity
+	// subslices of it, so grid construction is two allocations regardless of k.
 	cells := make([][]splitterCell, k)
+	flat := make([]splitterCell, k*(k+1)/2)
 	for r := 0; r < k; r++ {
-		cells[r] = make([]splitterCell, k-r)
+		n := k - r
+		cells[r], flat = flat[:n:n], flat[n:]
 	}
 	return &Grid{k: k, cells: cells}
 }

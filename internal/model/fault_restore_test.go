@@ -30,20 +30,26 @@ func TestRestoreEquivalentToReplayFaultModel(t *testing.T) {
 		t.Fatal("firstfit case missing from the conformance table")
 	}
 	m := shmem.Model{Regs: shmem.RegSafe, Recovery: true}
-	restarts, stales := 0, 0
-	for trial := 0; trial < 6; trial++ {
-		seed := uint64(trial+1) * 0x9e3779b97f4a7c15
-		r, s := runFaultRestoreEquivalence(t, ff, 3, m, seed)
-		restarts += r
-		stales += s
-	}
-	// The sweep must actually exercise the fault repertoire, or the
-	// equivalence it certifies is the atomic one already covered elsewhere.
-	if restarts == 0 {
-		t.Error("no trial performed a restart; the fault sweep is vacuous")
-	}
-	if stales == 0 {
-		t.Error("no trial performed a stale read; the fault sweep is vacuous")
+	for _, pair := range enginePairs(ff) {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			restarts, stales := 0, 0
+			for trial := 0; trial < 6; trial++ {
+				seed := uint64(trial+1) * 0x9e3779b97f4a7c15
+				r, s := runFaultRestoreEquivalence(t, ff, 3, m, seed, pair)
+				restarts += r
+				stales += s
+			}
+			// The sweep must actually exercise the fault repertoire, or the
+			// equivalence it certifies is the atomic one already covered
+			// elsewhere.
+			if restarts == 0 {
+				t.Error("no trial performed a restart; the fault sweep is vacuous")
+			}
+			if stales == 0 {
+				t.Error("no trial performed a stale read; the fault sweep is vacuous")
+			}
+		})
 	}
 }
 
@@ -52,7 +58,7 @@ func TestRestoreEquivalentToReplayFaultModel(t *testing.T) {
 // controller at a decision point. Decisions depend only on the rng stream
 // and the controller's observable state, so two controllers in equivalent
 // states driven by equal-seeded rngs take identical paths.
-func randDriveFault(c *sched.Controller, rng *xrand.Rand, k int, maxCrashes int) {
+func randDriveFault(c sched.Engine, rng *xrand.Rand, k int, maxCrashes int) {
 	crashes := 0
 	for i := 0; i < k; i++ {
 		if c.PendingCount() == 0 {
@@ -102,36 +108,22 @@ func randDriveFault(c *sched.Controller, rng *xrand.Rand, k int, maxCrashes int)
 
 // runFaultRestoreEquivalence returns how many restarts and stale-read grants
 // the full execution performed, so the caller can reject a vacuous sweep.
-func runFaultRestoreEquivalence(t *testing.T, tc conformance.Case, n int, m shmem.Model, seed uint64) (restarts, stales int) {
+func runFaultRestoreEquivalence(t *testing.T, tc conformance.Case, n int, m shmem.Model, seed uint64, pair enginePair) (restarts, stales int) {
 	t.Helper()
-	origs := tc.Origs(n, seed)
-	mk := func() (*sched.Controller, []int64) {
-		r := tc.New(n, seed)
-		got := make([]int64, n)
-		c := sched.NewController(n, origs, func(p *shmem.Proc) {
-			got[p.ID()] = 0
-			name, ok := r.Rename(p, p.Name())
-			if ok {
-				got[p.ID()] = name
-			}
-		})
-		c.SetModel(m)
-		c.EnableState()
-		return c, got
-	}
 
 	// System 1: random faulty prefix, checkpoint, divergent continuation,
 	// restore.
-	c1, got1 := mk()
+	c1, got1, reset1 := pair.snap(tc, n, seed, m)
+	c1.EnableTrace()
 	rng := xrand.New(xrand.Mix(seed, 0x5eed))
 	randDriveFault(c1, rng, 3+int(seed%11), n-1)
 	snap := c1.Checkpoint()
-	prefix := c1.Trace()
+	prefix := append(sched.Trace(nil), c1.Trace()...)
 	wantHash := c1.StateHash()
 	wantFP := c1.Fingerprint()
 	wantRestarts := c1.Restarts()
 	randDriveFault(c1, xrand.New(xrand.Mix(seed, 0xd1f)), 1<<20, n-1)
-	c1.Restore(snap, nil)
+	c1.Restore(snap, reset1)
 
 	if got := c1.StateHash(); got != wantHash {
 		t.Fatalf("seed %#x: restore hash %x != checkpoint hash %x", seed, got, wantHash)
@@ -145,12 +137,18 @@ func runFaultRestoreEquivalence(t *testing.T, tc conformance.Case, n int, m shme
 
 	// System 2: a fresh identical instance, prefix reconstructed by replay of
 	// the trace — including its crash, restart and stale-read events.
-	c2, got2 := mk()
+	c2, got2, _ := pair.replay(tc, n, seed, m)
+	c2.EnableTrace()
 	if err := c2.ApplyTrace(prefix); err != nil {
 		t.Fatalf("seed %#x: replay: %v", seed, err)
 	}
-	if h := c2.StateHash(); h != wantHash {
-		t.Fatalf("seed %#x: replayed controller hash %x != checkpoint hash %x", seed, h, wantHash)
+	if pair.name != "vexec-to-goroutine" {
+		// Same-engine pairs must agree bit-for-bit; the cross-engine pair
+		// skips the hash (firstfit's capture stage stamps Refs per instance)
+		// and still certifies reads, fingerprints and continuations below.
+		if h := c2.StateHash(); h != wantHash {
+			t.Fatalf("seed %#x: replayed engine hash %x != checkpoint hash %x", seed, h, wantHash)
+		}
 	}
 	if c2.Fingerprint() != wantFP {
 		t.Fatalf("seed %#x: replayed fingerprint %#x != %#x", seed, c2.Fingerprint(), wantFP)
@@ -173,7 +171,7 @@ func runFaultRestoreEquivalence(t *testing.T, tc conformance.Case, n int, m shme
 		}
 	}
 	// Identical faulty continuations must produce bit-identical executions.
-	finish := func(c *sched.Controller) sched.Result {
+	finish := func(c sched.StateEngine) sched.Result {
 		r := xrand.New(xrand.Mix(seed, 0xf1a1))
 		randDriveFault(c, r, 1<<20, n-1)
 		return c.Result()

@@ -7,9 +7,9 @@
 // reordering of commuting grants — which the invariants (functions of the
 // final state) cannot distinguish anyway.
 //
-// Two engines walk the tree:
+// Two walkers cover the tree:
 //
-//   - EngineSourceDPOR (the default): the stateful search of
+//   - WalkerSourceDPOR (the default): the stateful search of
 //     explore.NewSourceDPOR — source-set partial-order reduction, state-hash
 //     dedup of revisited states, and checkpoint/restore instead of prefix
 //     replay. One instance is built for the whole search and rewound at
@@ -17,9 +17,15 @@
 //     modulo the 128-bit state hash: merging two genuinely distinct states
 //     requires a collision in both independent channels.
 //
-//   - EngineSleepSet: the stateless exhaustive DFS of explore.NewSleepSet —
+//   - WalkerSleepSet: the stateless exhaustive DFS of explore.NewSleepSet —
 //     fresh instance plus prefix replay per execution, no hashing anywhere.
 //     Slower and larger, kept as the hash-free cross-check.
+//
+// Orthogonally, Options.Engine selects the *execution* engine the walker
+// drives: the goroutine oracle (sched.Controller) or the vectorized frame
+// engine (vexec.Exec). The engines are bit-identical on the decision surface,
+// so the walker visits the same tree either way; only wall-clock changes. The
+// default resolves to vexec whenever the algorithm ships frame automata.
 //
 // Workers > 1 shards the root decisions of the tree across goroutines
 // (explore.DriveParallel): each enabled first grant is searched as an
@@ -40,32 +46,65 @@ import (
 	"repro/internal/explore"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/vexec"
 )
 
-// Engine selects the tree walker.
+// Walker selects the tree-walking search strategy.
+type Walker int
+
+const (
+	// WalkerSourceDPOR is the stateful source-set walker with state dedup
+	// and checkpoint/restore — the default.
+	WalkerSourceDPOR Walker = iota
+	// WalkerSleepSet is the stateless exhaustive sleep-set DFS (hash-free
+	// cross-check).
+	WalkerSleepSet
+	// WalkerDPOR is the stateless PR-3 all-pairs DPOR (schedule-only: it
+	// rejects crash branching). Kept as the reduction baseline the bench
+	// suite measures source sets against.
+	WalkerDPOR
+)
+
+func (w Walker) String() string {
+	switch w {
+	case WalkerSourceDPOR:
+		return "sourcedpor"
+	case WalkerSleepSet:
+		return "sleepset"
+	case WalkerDPOR:
+		return "dpor"
+	default:
+		return fmt.Sprintf("Walker(%d)", int(w))
+	}
+}
+
+// Engine selects the execution engine the walker drives. Both engines are
+// bit-identical on the decision surface (internal/vexec's differential
+// contract), so the choice affects wall-clock only — a Complete report is a
+// proof on either.
 type Engine int
 
 const (
-	// EngineSourceDPOR is the stateful source-set engine with state dedup
-	// and checkpoint/restore — the default.
-	EngineSourceDPOR Engine = iota
-	// EngineSleepSet is the stateless exhaustive sleep-set DFS (hash-free
-	// cross-check).
-	EngineSleepSet
-	// EngineDPOR is the stateless PR-3 all-pairs DPOR (schedule-only: it
-	// rejects crash branching). Kept as the reduction baseline the bench
-	// suite measures source sets against.
-	EngineDPOR
+	// EngineAuto resolves to EngineVexec when the algorithm under check ships
+	// frame automata (implements vexec.FrameRenamer) and to the goroutine
+	// oracle otherwise.
+	EngineAuto Engine = iota
+	// EngineGoroutine forces the goroutine oracle (sched.Controller) — the
+	// conformance cross-check path.
+	EngineGoroutine
+	// EngineVexec forces the vectorized frame engine (vexec.Exec); Check
+	// panics if the algorithm has no frame automata.
+	EngineVexec
 )
 
 func (e Engine) String() string {
 	switch e {
-	case EngineSourceDPOR:
-		return "sourcedpor"
-	case EngineSleepSet:
-		return "sleepset"
-	case EngineDPOR:
-		return "dpor"
+	case EngineAuto:
+		return "auto"
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineVexec:
+		return "vexec"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -93,7 +132,10 @@ type Options struct {
 	// tree. A budgeted run that stops early reports Complete=false — it
 	// degrades to a systematic sample, never to a false proof.
 	Budget int
-	// Engine selects the walker; the zero value is EngineSourceDPOR.
+	// Walker selects the search strategy; the zero value is WalkerSourceDPOR.
+	Walker Walker
+	// Engine selects the execution engine the walker drives; the zero value
+	// (EngineAuto) uses vexec whenever the algorithm ships frame automata.
 	Engine Engine
 	// Workers > 1 shards the root decisions across that many goroutines.
 	Workers int
@@ -110,7 +152,8 @@ type Report struct {
 	Label      string
 	N          int
 	Model      shmem.Model
-	Engine     Engine
+	Walker     Walker
+	Engine     Engine // resolved: never EngineAuto in a returned report
 	Workers    int
 	Executions int  // complete executions checked
 	Partial    int  // redundant prefixes cut by sleep sets or state dedup
@@ -153,7 +196,7 @@ func (r *Report) Summary() string {
 	if !r.Model.Atomic() {
 		s += fmt.Sprintf(" model=%s", r.Model)
 	}
-	s += fmt.Sprintf(" [%s", r.Engine)
+	s += fmt.Sprintf(" [%s@%s", r.Walker, r.Engine)
 	if r.Workers > 1 {
 		s += fmt.Sprintf(" x%d", r.Workers)
 	}
@@ -192,6 +235,16 @@ func (in *instance) body() sched.Body {
 	}
 }
 
+// frames is the vectorized form of body: one capture-wrapped frame automaton
+// per lane, writing the lane's outcome into the same arrays body assigns.
+// Valid only when the renamer ships frame automata.
+func (in *instance) frames() func(p *shmem.Proc) vexec.Frame {
+	fr := in.renamer.(vexec.FrameRenamer)
+	return func(p *shmem.Proc) vexec.Frame {
+		return vexec.Capture(fr.FrameRename(p.Name()), &in.got[p.ID()], &in.oks[p.ID()])
+	}
+}
+
 // Check walks the complete schedule-and-crash tree of the renamer built by
 // new (which must return an equivalent fresh deterministic instance on every
 // call) for n contenders holding origs (nil assigns 1..n), checking every
@@ -206,13 +259,23 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
-	rep := Report{Label: label, N: n, Model: opt.Model, Engine: opt.Engine, Workers: opt.Workers}
-	start := time.Now()
-
-	var vmu sync.Mutex // parallel shards report violations concurrently
 	mkInstance := func() *instance {
 		return &instance{renamer: new(), got: make([]int64, n), oks: make([]bool, n)}
 	}
+	// Resolve the execution engine once, against a probe instance: EngineAuto
+	// takes the fast path exactly when the algorithm ships frame automata.
+	engine := opt.Engine
+	if engine == EngineAuto {
+		if _, ok := mkInstance().renamer.(vexec.FrameRenamer); ok {
+			engine = EngineVexec
+		} else {
+			engine = EngineGoroutine
+		}
+	}
+	rep := Report{Label: label, N: n, Model: opt.Model, Walker: opt.Walker, Engine: engine, Workers: opt.Workers}
+	start := time.Now()
+
+	var vmu sync.Mutex // parallel shards report violations concurrently
 	// checkRun validates one completed execution; shared by every drive
 	// shape. It must be called with the instance that ran it.
 	checkRun := func(in *instance, t sched.Trace, res sched.Result) *Violation {
@@ -223,17 +286,19 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 			err = suite.Check(check.NewRun(origs, in.got, in.oks, res, in.renamer.MaxName()))
 		}
 		if err != nil {
-			return &Violation{Err: err, Trace: t}
+			// t aliases the drive's reused trace buffer; the violation is the
+			// report's durable artifact, so copy.
+			return &Violation{Err: err, Trace: append(sched.Trace(nil), t...)}
 		}
 		return nil
 	}
 	mkStrategy := func() explore.Strategy {
-		switch opt.Engine {
-		case EngineSleepSet:
+		switch opt.Walker {
+		case WalkerSleepSet:
 			return explore.NewSleepSet(1, opt.Budget, opt.MaxCrashes)
-		case EngineDPOR:
+		case WalkerDPOR:
 			if opt.MaxCrashes > 0 {
-				panic("model: EngineDPOR is schedule-only (no crash branching)")
+				panic("model: WalkerDPOR is schedule-only (no crash branching)")
 			}
 			return explore.NewDPOR(1, opt.Budget)
 		default:
@@ -246,19 +311,20 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 	}
 	configFor := func(in *instance, fresh func() *instance) explore.Config {
 		cur := in
-		return explore.Config{
-			N:     n,
-			Model: opt.Model,
-			Names: func(run int) []int64 { return origs },
+		cfg := explore.Config{
+			N:      n,
+			Model:  opt.Model,
+			Engine: explore.EngineGoroutine,
+			Names:  func(run int) []int64 { return origs },
 			Body: func(run int) sched.Body {
 				if run > 0 {
-					// Stateless engine: a fresh system per execution.
+					// Stateless walker: a fresh system per execution.
 					cur = fresh()
 				}
 				cur.reset()
 				return cur.body()
 			},
-			Reset: cur.reset, // stateful engine: same system, rewound
+			Reset: func() { cur.reset() }, // stateful walker: same system, rewound
 			OnResult: func(run int, t sched.Trace, res sched.Result) bool {
 				if v := checkRun(cur, t, res); v != nil {
 					vmu.Lock()
@@ -271,6 +337,20 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 				return true
 			},
 		}
+		if engine == EngineVexec {
+			if _, ok := cur.renamer.(vexec.FrameRenamer); !ok {
+				panic(fmt.Sprintf("model: Options.Engine=vexec but %T ships no frame automata", cur.renamer))
+			}
+			cfg.Engine = explore.EngineVexec
+			cfg.Frame = func(run int) func(p *shmem.Proc) vexec.Frame {
+				if run > 0 {
+					cur = fresh()
+				}
+				cur.reset()
+				return cur.frames()
+			}
+		}
+		return cfg
 	}
 
 	var stats explore.Stats

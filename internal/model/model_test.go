@@ -109,17 +109,17 @@ func TestCheckCrashBranchingIsLarger(t *testing.T) {
 func TestEnginesAgree(t *testing.T) {
 	const n = 3
 	for _, crashes := range []int{0, n - 1} {
-		for _, engine := range []Engine{EngineSourceDPOR, EngineSleepSet} {
-			opt := Options{Engine: engine, MaxCrashes: crashes}
+		for _, walker := range []Walker{WalkerSourceDPOR, WalkerSleepSet} {
+			opt := Options{Walker: walker, MaxCrashes: crashes}
 			bad := Check("broken", func() check.Renamer { return &brokenRenamer{slots: make([]shmem.Reg, n)} },
 				n, nil, check.Suite{check.Exclusive(), check.Returned()}, opt)
 			if bad.Violation == nil {
-				t.Fatalf("%s crashes=%d missed the planted bug: %s", engine, crashes, bad.Summary())
+				t.Fatalf("%s crashes=%d missed the planted bug: %s", walker, crashes, bad.Summary())
 			}
 			good := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
 				n, nil, check.Basic(), opt)
 			if !good.Proven() {
-				t.Fatalf("%s crashes=%d failed to prove the fair fixture: %s", engine, crashes, good.Summary())
+				t.Fatalf("%s crashes=%d failed to prove the fair fixture: %s", walker, crashes, good.Summary())
 			}
 		}
 	}
@@ -129,23 +129,23 @@ func TestEnginesAgree(t *testing.T) {
 // preserve both verdicts — the proof (all shards complete) and the bug.
 func TestCheckParallelWorkers(t *testing.T) {
 	const n = 3
-	for _, engine := range []Engine{EngineSourceDPOR, EngineSleepSet} {
-		opt := Options{Engine: engine, MaxCrashes: n - 1, Workers: 4}
+	for _, walker := range []Walker{WalkerSourceDPOR, WalkerSleepSet} {
+		opt := Options{Walker: walker, MaxCrashes: n - 1, Workers: 4}
 		good := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
 			n, nil, check.Basic(), opt)
 		if !good.Proven() {
-			t.Fatalf("%s x4: sharded walk failed to prove: %s", engine, good.Summary())
+			t.Fatalf("%s x4: sharded walk failed to prove: %s", walker, good.Summary())
 		}
 		seq := Check("fair", func() check.Renamer { return &fairRenamer{slots: make([]shmem.Reg, n)} },
-			n, nil, check.Basic(), Options{Engine: engine, MaxCrashes: n - 1})
+			n, nil, check.Basic(), Options{Walker: walker, MaxCrashes: n - 1})
 		if good.Executions < seq.Executions {
 			t.Fatalf("%s x4: sharded walk ran %d executions, sequential %d — shards may not skip work",
-				engine, good.Executions, seq.Executions)
+				walker, good.Executions, seq.Executions)
 		}
 		bad := Check("broken", func() check.Renamer { return &brokenRenamer{slots: make([]shmem.Reg, n)} },
 			n, nil, check.Suite{check.Exclusive(), check.Returned()}, opt)
 		if bad.Violation == nil {
-			t.Fatalf("%s x4: sharded walk missed the planted bug: %s", engine, bad.Summary())
+			t.Fatalf("%s x4: sharded walk missed the planted bug: %s", walker, bad.Summary())
 		}
 	}
 }

@@ -6,39 +6,115 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/sched"
 	"repro/internal/shmem"
+	"repro/internal/vexec"
 	"repro/internal/xrand"
 )
 
 // TestRestoreEquivalentToReplay is the checkpoint/restore ground truth for
 // the real algorithms: over randomized traces of all six, restoring a
 // mid-execution snapshot must land bit-identically where (a) the same
-// controller stood at capture time — same StateHash, fingerprint, read logs
-// — and (b) where a fresh controller lands by ReplayTrace of the same
+// engine stood at capture time — same StateHash, fingerprint, read logs
+// — and (b) where a fresh engine lands by replay of the same
 // prefix: same observable reads, same pending intents, and a bit-identical
 // continuation (same schedule fingerprint, steps, and acquired names under
 // identical subsequent decisions).
 //
-// StateHash is additionally compared across the two controllers for the
+// The equivalence is checked on both execution engines, and across them:
+// the snapshot side runs on the vectorized engine while the replay side
+// reconstructs on the goroutine oracle (engine pair "vexec/goroutine"),
+// which is exactly the reconstruction contract engine-mixed tooling relies
+// on (a vexec-discovered violation replayed on a goroutine controller).
+//
+// StateHash is additionally compared across the two engines for the
 // algorithms built purely from scalar registers; the snapshot-based stages
 // of Efficient and Adaptive hash Ref contents by write stamp, which is
-// canonical within one controller only.
+// canonical within one engine instance only.
 func TestRestoreEquivalentToReplay(t *testing.T) {
 	scalarOnly := map[string]bool{"majority": true, "basic": true, "polylog": true, "almostadaptive": true}
 	for _, tc := range conformance.Cases() {
 		tc := tc
 		t.Run(tc.Name, func(t *testing.T) {
-			for trial := 0; trial < 4; trial++ {
-				seed := uint64(trial+1) * 0x9e3779b9
-				runRestoreEquivalence(t, tc, 3, seed, scalarOnly[tc.Name])
+			for _, pair := range enginePairs(tc) {
+				pair := pair
+				t.Run(pair.name, func(t *testing.T) {
+					for trial := 0; trial < 4; trial++ {
+						seed := uint64(trial+1) * 0x9e3779b9
+						// Cross-engine hash comparison needs scalar registers
+						// AND identical engines per side for Ref-bearing
+						// algorithms; same-engine pairs follow the scalarOnly
+						// rule as before.
+						runRestoreEquivalence(t, tc, 3, seed, scalarOnly[tc.Name], pair)
+					}
+				})
 			}
 		})
 	}
 }
 
+// enginePair builds the two sides of one equivalence run: snap is the engine
+// that checkpoints and restores, replay the one that reconstructs the prefix
+// from the trace.
+type enginePair struct {
+	name   string
+	snap   func(tc conformance.Case, n int, seed uint64, m shmem.Model) (sched.StateEngine, []int64, func())
+	replay func(tc conformance.Case, n int, seed uint64, m shmem.Model) (sched.StateEngine, []int64, func())
+}
+
+func mkGoroutine(tc conformance.Case, n int, seed uint64, m shmem.Model) (sched.StateEngine, []int64, func()) {
+	r := tc.New(n, seed)
+	got := make([]int64, n)
+	c := sched.NewController(n, tc.Origs(n, seed), func(p *shmem.Proc) {
+		got[p.ID()] = 0
+		name, ok := r.Rename(p, p.Name())
+		if ok {
+			got[p.ID()] = name
+		}
+	})
+	if !m.Atomic() {
+		c.SetModel(m)
+	}
+	c.EnableState()
+	// The respawned bodies zero their own entries; an explicit reset is not
+	// needed but returned for signature uniformity with the vexec builder.
+	return c, got, func() { clear(got) }
+}
+
+func mkVexec(tc conformance.Case, n int, seed uint64, m shmem.Model) (sched.StateEngine, []int64, func()) {
+	fr := tc.New(n, seed).(vexec.FrameRenamer)
+	got := make([]int64, n)
+	oks := make([]bool, n)
+	e := vexec.New(n, tc.Origs(n, seed), func(p *shmem.Proc) vexec.Frame {
+		return vexec.Capture(fr.FrameRename(p.Name()), &got[p.ID()], &oks[p.ID()])
+	})
+	if !m.Atomic() {
+		e.SetModel(m)
+	}
+	e.EnableState()
+	// Capture writes a lane's outcome only at completion, so stale outcomes
+	// from an abandoned branch must be cleared at restore — the same
+	// Config.Reset contract the search drivers use.
+	return e, got, func() { clear(got); clear(oks) }
+}
+
+// enginePairs returns the engine combinations to certify: both same-engine
+// pairs always, plus the cross-engine pair when the algorithm ships frame
+// automata (every conformance case does; the guard keeps the test honest if
+// a frameless case is ever added).
+func enginePairs(tc conformance.Case) []enginePair {
+	pairs := []enginePair{{name: "goroutine", snap: mkGoroutine, replay: mkGoroutine}}
+	if _, ok := tc.New(2, 1).(vexec.FrameRenamer); ok {
+		pairs = append(pairs,
+			enginePair{name: "vexec", snap: mkVexec, replay: mkVexec},
+			enginePair{name: "vexec-to-goroutine", snap: mkVexec, replay: mkGoroutine},
+		)
+	}
+	return pairs
+}
+
 // randDrive drives k random decisions (with an occasional crash) and leaves
-// the controller at a decision point. It mirrors the adversary's full power:
+// the engine at a decision point. It mirrors the adversary's full power:
 // the prefix is an arbitrary schedule-and-crash pattern.
-func randDrive(c *sched.Controller, rng *xrand.Rand, k int, maxCrashes int) {
+func randDrive(c sched.Engine, rng *xrand.Rand, k int, maxCrashes int) {
 	crashes := 0
 	for i := 0; i < k && c.PendingCount() > 0; i++ {
 		idx := rng.Intn(c.PendingCount())
@@ -55,33 +131,21 @@ func randDrive(c *sched.Controller, rng *xrand.Rand, k int, maxCrashes int) {
 	}
 }
 
-func runRestoreEquivalence(t *testing.T, tc conformance.Case, n int, seed uint64, compareHash bool) {
+func runRestoreEquivalence(t *testing.T, tc conformance.Case, n int, seed uint64, compareHash bool, pair enginePair) {
 	t.Helper()
-	origs := tc.Origs(n, seed)
-	mk := func() (*sched.Controller, []int64) {
-		r := tc.New(n, seed)
-		got := make([]int64, n)
-		c := sched.NewController(n, origs, func(p *shmem.Proc) {
-			got[p.ID()] = 0
-			name, ok := r.Rename(p, p.Name())
-			if ok {
-				got[p.ID()] = name
-			}
-		})
-		c.EnableState()
-		return c, got
-	}
+	var m shmem.Model // the paper's: atomic registers, fail-stop
 
 	// System 1: random prefix, checkpoint, divergent continuation, restore.
-	c1, got1 := mk()
+	c1, got1, reset1 := pair.snap(tc, n, seed, m)
+	c1.EnableTrace()
 	rng := xrand.New(xrand.Mix(seed, 0x5eed))
 	randDrive(c1, rng, 2+int(seed%9), 1)
 	snap := c1.Checkpoint()
-	prefix := c1.Trace()
+	prefix := append(sched.Trace(nil), c1.Trace()...)
 	wantHash := c1.StateHash()
 	wantFP := c1.Fingerprint()
 	randDrive(c1, xrand.New(xrand.Mix(seed, 0xd1f)), 1<<20, n-1) // run the divergent branch to completion
-	c1.Restore(snap, nil)
+	c1.Restore(snap, reset1)
 
 	if got := c1.StateHash(); got != wantHash {
 		t.Fatalf("seed %#x: restore hash %x != checkpoint hash %x", seed, got, wantHash)
@@ -91,13 +155,14 @@ func runRestoreEquivalence(t *testing.T, tc conformance.Case, n int, seed uint64
 	}
 
 	// System 2: a fresh identical instance, prefix reconstructed by replay.
-	c2, got2 := mk()
+	c2, got2, _ := pair.replay(tc, n, seed, m)
+	c2.EnableTrace()
 	if err := c2.ApplyTrace(prefix); err != nil {
 		t.Fatalf("seed %#x: replay: %v", seed, err)
 	}
 	if compareHash {
 		if h := c2.StateHash(); h != wantHash {
-			t.Fatalf("seed %#x: replayed controller hash %x != checkpoint hash %x", seed, h, wantHash)
+			t.Fatalf("seed %#x: replayed engine hash %x != checkpoint hash %x", seed, h, wantHash)
 		}
 	}
 	if c2.Fingerprint() != wantFP {
@@ -123,7 +188,7 @@ func runRestoreEquivalence(t *testing.T, tc conformance.Case, n int, seed uint64
 	// Identical continuations from both reconstructions must produce
 	// bit-identical executions: same grants accepted, same fingerprint, same
 	// steps, same acquired names.
-	finish := func(c *sched.Controller) sched.Result {
+	finish := func(c sched.StateEngine) sched.Result {
 		r := xrand.New(xrand.Mix(seed, 0xf1a1))
 		randDrive(c, r, 1<<20, n-1)
 		return c.Result()

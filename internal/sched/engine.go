@@ -59,6 +59,65 @@ type Engine interface {
 // Controller is the reference Engine.
 var _ Engine = (*Controller)(nil)
 
+// ExecState is an opaque captured execution state: the value returned by a
+// StateEngine's Checkpoint and accepted by its Restore. Each engine has its
+// own concrete representation (the goroutine engine's Snapshot watermarks
+// its undo log; the vectorized engine's snapshot is a plain struct copy of
+// register cells and lane positions), and a capture is only meaningful to
+// the engine that produced it — Restore panics on a foreign state.
+type ExecState interface {
+	execState()
+}
+
+// StateTag marks a concrete snapshot type as an ExecState: engines outside
+// this package embed it in their snapshot struct to satisfy the sealed
+// interface (the marker method itself stays unexported so arbitrary values
+// cannot masquerade as captured states).
+type StateTag struct{}
+
+func (StateTag) execState() {}
+
+// SearchEngine is the surface the exploration layers (internal/explore,
+// internal/adversary, internal/model) drive: everything a Policy may use,
+// plus the capability knobs and replay machinery a search harness arms
+// between runs. Both engines implement it.
+type SearchEngine interface {
+	Engine
+	SetModel(m shmem.Model)
+	EnableTrace()
+	Trace() Trace
+	TraceInto(buf Trace) Trace
+	ApplyTrace(prefix Trace) error
+	Abort()
+}
+
+// StateReleaser is optionally implemented by state engines that recycle
+// checkpoint storage: a search hands back a capture it will never Restore to
+// again (its tree node is fully explored) and the engine may reuse the
+// allocation for a later Checkpoint. Releasing is strictly an optimization —
+// captures are garbage-collected like anything else without it.
+type StateReleaser interface {
+	ReleaseState(s ExecState)
+}
+
+// StateEngine is a SearchEngine whose execution state is first-class:
+// checkpoint/restore with canonical state hashing, the contract the
+// stateful source-DPOR walk is built on (PR 5 semantics on either engine).
+// Restore rewinds to a state captured earlier on the current branch and
+// re-executes no grants; StateHash at equal decision points is
+// bit-identical across engines for scalar-register algorithms.
+type StateEngine interface {
+	SearchEngine
+	EnableState()
+	StateEnabled() bool
+	StateHash() [2]uint64
+	Checkpoint() ExecState
+	Restore(s ExecState, reset func())
+}
+
+// The goroutine engine implements the full state-capable surface.
+var _ StateEngine = (*Controller)(nil)
+
 // CheckStaleChoice pins the StalePolicy index convention shared by every
 // driver (DriveEngine here, policyChoice in internal/explore): PickStale
 // returns 0 for the fresh read or s in 1..count for stale choice s-1. Both

@@ -107,6 +107,9 @@ type Snapshot struct {
 	stale    [][]int64
 }
 
+// execState marks Snapshot as this engine's ExecState representation.
+func (Snapshot) execState() {}
+
 // EnableState turns on state capture: read logging on every process, write
 // pre-image capture on every grant, and incremental state hashing. It must
 // be called on a pristine controller (no grants yet) so the logs cover the
@@ -222,7 +225,7 @@ func (c *Controller) StateHash() [2]uint64 {
 }
 
 // Checkpoint captures the current decision point as a Snapshot. O(n).
-func (c *Controller) Checkpoint() Snapshot {
+func (c *Controller) Checkpoint() ExecState {
 	if !c.st.enabled {
 		panic("sched: Checkpoint without EnableState")
 	}
@@ -261,9 +264,13 @@ func (c *Controller) Checkpoint() Snapshot {
 // same posted intents, same StateHash, same Fingerprint. No scheduler grant
 // is re-executed; the Replayed accounting of stateless search collapses to
 // zero.
-func (c *Controller) Restore(s Snapshot, reset func()) {
+func (c *Controller) Restore(st ExecState, reset func()) {
 	if !c.st.enabled {
 		panic("sched: Restore without EnableState")
+	}
+	s, ok := st.(Snapshot)
+	if !ok {
+		panic(fmt.Sprintf("sched: Restore of a %T capture on the goroutine engine (snapshots are engine-specific)", st))
 	}
 	if s.c != c {
 		panic("sched: Restore of a snapshot from a different controller")

@@ -151,6 +151,14 @@ func (c *Controller) Trace() Trace {
 	return append(Trace(nil), c.traceBuf...)
 }
 
+// TraceInto overwrites buf (reusing its storage) with the recorded grant
+// sequence and returns it — the allocation-free form of Trace for drive
+// loops that consume each execution's trace before the next one overwrites
+// the buffer.
+func (c *Controller) TraceInto(buf Trace) Trace {
+	return append(buf[:0], c.traceBuf...)
+}
+
 // ApplyTrace re-applies a recorded grant sequence to a freshly constructed
 // controller, reconstructing the execution state at the end of the prefix.
 // The bodies must be deterministic (every algorithm in this repository is,

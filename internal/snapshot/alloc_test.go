@@ -1,0 +1,68 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+	"repro/internal/vexec"
+)
+
+// roundsFrame drives r Update+Scan rounds through the frame automata,
+// re-arming the embedded frames each round — the access pattern of every
+// rename attempt loop built on the snapshot.
+type roundsFrame struct {
+	o    *Object[int64]
+	r    int
+	cnt  int
+	uf   UpdateFrame[int64]
+	sf   ScanFrame[int64]
+	view []View[int64]
+	pc   uint8
+}
+
+func (f *roundsFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+	switch f.pc {
+	case 0:
+		if f.cnt >= f.r {
+			return vexec.Done
+		}
+		f.pc = 1
+		f.uf.Init(f.o, 0, int64(f.cnt))
+		return m.Call(&f.uf)
+	default:
+		f.pc = 0
+		f.cnt++
+		f.sf.Init(f.o, &f.view)
+		return m.Call(&f.sf)
+	}
+}
+
+// TestFrameAllocsSteadyState pins the pooling contract of the snapshot
+// frames: once a frame's scratch buffers exist, a round costs only the
+// allocations that escape by design — the installed segment and the
+// delivered views — not per-collect or per-Init scratch. A regression that
+// re-allocates collect buffers or the moved table per round trips the bound
+// (the pre-pooling code costs ~9 allocations a round; the pooled path ~3).
+func TestFrameAllocsSteadyState(t *testing.T) {
+	const rounds = 16
+	o := New[int64](8)
+	f := &roundsFrame{o: o, r: rounds}
+	root := func(p *shmem.Proc) vexec.Frame {
+		f.cnt, f.pc = 0, 0
+		return f
+	}
+	e := vexec.New(1, nil, root)
+	e.Run(&sched.RoundRobin{}, nil) // warm: first run grows the scratch
+
+	avg := testing.AllocsPerRun(20, func() {
+		e.Reset(nil, root)
+		e.Run(&sched.RoundRobin{}, nil)
+	})
+	// Per round a solo process performs one Update (embedded scan's view +
+	// the installed segment) and one Scan (its view): 3 escaping allocations,
+	// plus a little engine slack per run.
+	if max := float64(rounds*4 + 8); avg > max {
+		t.Fatalf("steady-state frame drive allocates %.1f allocs/run, want <= %.0f (scratch pooling regressed)", avg, max)
+	}
+}

@@ -16,8 +16,21 @@ type collectFrame[T any] struct {
 	entered bool
 }
 
-func (f *collectFrame[T]) init(o *Object[T]) {
-	*f = collectFrame[T]{o: o, out: make([]*segment[T], len(o.segs))}
+// init arms the frame for one collect into buf's backing array (grown when
+// too small). The caller owns buf's lifetime: the collect overwrites every
+// entry before the frame reports Done, so stale contents need no clearing,
+// but the buffer must not alias a collect still being consumed.
+func (f *collectFrame[T]) init(o *Object[T], buf []*segment[T]) {
+	*f = collectFrame[T]{o: o, out: grow(buf, len(o.segs))}
+}
+
+// grow returns a length-n slice reusing buf's backing array when it is large
+// enough. Contents are unspecified; callers overwrite every entry.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 func (f *collectFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
@@ -41,26 +54,42 @@ type ScanFrame[T any] struct {
 	moved []int
 	prev  []*segment[T]
 	cf    collectFrame[T]
+	bufs  [2][]*segment[T] // collect scratch, alternated so prev stays live
+	cn    uint8            // collects issued; low bit selects the buffer
 	pc    uint8
 }
 
 // Init arms the frame for one scan of o; the view lands in *out when the
-// frame finishes.
+// frame finishes. Scratch buffers survive re-arming: a frame driven through
+// many scans (every rename attempt embeds one or two) allocates only on its
+// first. The delivered view itself is always fresh — it escapes into the
+// caller (and, via UpdateFrame, into shared memory).
 func (f *ScanFrame[T]) Init(o *Object[T], out *[]View[T]) {
-	*f = ScanFrame[T]{o: o, out: out, moved: make([]int, len(o.segs))}
+	moved, bufs := f.moved, f.bufs
+	*f = ScanFrame[T]{o: o, out: out, bufs: bufs}
+	f.moved = grow(moved, len(o.segs))
+	clear(f.moved)
+}
+
+// collect issues the next collect into the scratch buffer prev does not
+// alias: only two collects are ever live at once (prev and the one in
+// flight), so two buffers alternated by collect parity suffice.
+func (f *ScanFrame[T]) collect(m *vexec.M) vexec.Status {
+	f.cf.init(f.o, f.bufs[f.cn&1])
+	f.bufs[f.cn&1] = f.cf.out
+	f.cn++
+	return m.Call(&f.cf)
 }
 
 func (f *ScanFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 	switch f.pc {
 	case 0:
 		f.pc = 1
-		f.cf.init(f.o)
-		return m.Call(&f.cf)
+		return f.collect(m)
 	case 1:
 		f.prev = f.cf.out
 		f.pc = 2
-		f.cf.init(f.o)
-		return m.Call(&f.cf)
+		return f.collect(m)
 	default:
 		cur := f.cf.out
 		if sameCollect(f.prev, cur) {
@@ -87,8 +116,7 @@ func (f *ScanFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 			}
 		}
 		f.prev = cur
-		f.cf.init(f.o)
-		return m.Call(&f.cf)
+		return f.collect(m)
 	}
 }
 
@@ -104,9 +132,13 @@ type UpdateFrame[T any] struct {
 	pc   uint8
 }
 
-// Init arms the frame to install v as segment i of o.
+// Init arms the frame to install v as segment i of o. The embedded scan
+// frame is re-armed in place (not zeroed) so its scratch buffers carry over.
 func (f *UpdateFrame[T]) Init(o *Object[T], i int, v T) {
-	*f = UpdateFrame[T]{o: o, i: i, v: v}
+	f.o, f.i, f.v = o, i, v
+	f.view = nil
+	f.seg = nil
+	f.pc = 0
 }
 
 func (f *UpdateFrame[T]) Run(m *vexec.M, p *shmem.Proc) vexec.Status {

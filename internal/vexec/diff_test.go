@@ -306,10 +306,75 @@ func TestVexecReturned(t *testing.T) {
 	}
 }
 
+// driveDetour re-executes a recorded schedule with a checkpoint/restore
+// detour at decision d: replay d events, checkpoint, run a divergent seeded
+// excursion to completion, restore, replay the rest. The detour must be
+// invisible — the returned outcome must be bit-identical to the straight
+// drive that recorded the schedule, on either engine. The one deliberate
+// exception is the final StateHash: its register-id fold is assigned in
+// first-write order within an instance, and the excursion's extra grants can
+// permute that order, so cross-instance hash equality is only guaranteed for
+// identical grant sequences. The hash identity the detour owes — restore
+// lands exactly on the checkpoint — is asserted internally instead.
+func driveDetour(t *testing.T, c conformance.Case, n int, seed uint64, m shmem.Model, trace sched.Trace, d int, wantState, onVexec bool) outcome {
+	t.Helper()
+	var (
+		e       sched.StateEngine
+		got     []int64
+		oks     []bool
+		myReset func()
+	)
+	if onVexec {
+		var ve *vexec.Exec
+		ve, got, oks = newVexec(t, c, n, seed, m, false)
+		e = ve
+	} else {
+		r := c.New(n, seed)
+		got = make([]int64, n)
+		oks = make([]bool, n)
+		ctl := sched.NewController(n, c.Origs(n, seed), func(p *shmem.Proc) {
+			got[p.ID()], oks[p.ID()] = r.Rename(p, p.Name())
+		})
+		if !m.Atomic() {
+			ctl.SetModel(m)
+		}
+		e = ctl
+	}
+	myReset = func() { clear(got); clear(oks) }
+	e.EnableState()
+	e.EnableTrace()
+	if err := e.ApplyTrace(trace[:d]); err != nil {
+		t.Fatalf("detour prefix replay (d=%d): %v", d, err)
+	}
+	snap := e.Checkpoint()
+	wantFP := e.Fingerprint()
+	var wantSH [2]uint64
+	if wantState {
+		wantSH = e.StateHash()
+	}
+	// Divergent excursion: run the rest of the execution under an unrelated
+	// schedule, then rewind as if it never happened.
+	sched.DriveEngine(e, sched.NewRandom(xrand.Mix(seed, 0xde70)), nil)
+	e.Restore(snap, myReset)
+	if e.Fingerprint() != wantFP {
+		t.Fatalf("detour restore (d=%d): fingerprint %#x != checkpoint %#x", d, e.Fingerprint(), wantFP)
+	}
+	if wantState {
+		if h := e.StateHash(); h != wantSH {
+			t.Fatalf("detour restore (d=%d): state hash %x != checkpoint %x", d, h, wantSH)
+		}
+	}
+	if err := e.ApplyTrace(trace[d:]); err != nil {
+		t.Fatalf("detour suffix replay (d=%d): %v", d, err)
+	}
+	return outcome{res: e.Result(), got: got, oks: oks, trace: e.Trace()}
+}
+
 // FuzzDifferential is the randomized arm of the differential contract: any
 // (case, population, seed, schedule) tuple the fuzzer invents must produce
-// bit-identical outcomes on both engines. Committed corpus seeds live in
-// testdata/fuzz/FuzzDifferential.
+// bit-identical outcomes on both engines — including when the execution is
+// reconstructed through a mid-schedule checkpoint/restore detour on either
+// engine. Committed corpus seeds live in testdata/fuzz/FuzzDifferential.
 func FuzzDifferential(f *testing.F) {
 	f.Add(uint64(0), uint64(3), uint64(1), uint64(0))
 	f.Add(uint64(6), uint64(4), uint64(42), uint64(2))
@@ -347,6 +412,15 @@ func FuzzDifferential(f *testing.F) {
 		o := driveOracle(t, c, k, seed, m, mkPolicy(), mkPlan(), wantState)
 		v := driveVexec(t, c, k, seed, m, mkPolicy(), mkPlan(), wantState)
 		compare(t, c.Name, o, v)
+		// Checkpoint/restore arm: rebuild the same execution around a
+		// mid-schedule detour on each engine; the detour must be invisible.
+		if len(o.trace) > 0 {
+			d := int(xrand.Mix(seed, 0xd7) % uint64(len(o.trace)+1))
+			od := driveDetour(t, c, k, seed, m, o.trace, d, wantState, false)
+			compare(t, c.Name+"/detour-oracle", o, od)
+			vd := driveDetour(t, c, k, seed, m, o.trace, d, wantState, true)
+			compare(t, c.Name+"/detour-vexec", o, vd)
+		}
 	})
 }
 

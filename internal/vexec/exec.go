@@ -69,7 +69,8 @@ type Exec struct {
 	staleWin [][]int64
 	staleBuf []int64
 
-	st stateMirror
+	st       stateMirror
+	snapFree []*Snapshot // released captures awaiting reuse (see ReleaseState)
 }
 
 var _ sched.Engine = (*Exec)(nil)
@@ -579,6 +580,12 @@ func (e *Exec) Trace() sched.Trace {
 	return append(sched.Trace(nil), e.traceBuf...)
 }
 
+// TraceInto overwrites buf with the recorded grant sequence, as
+// Controller.TraceInto.
+func (e *Exec) TraceInto(buf sched.Trace) sched.Trace {
+	return append(buf[:0], e.traceBuf...)
+}
+
 // Run drives the engine to completion — sched.DriveEngine over this engine,
 // the same loop Controller.Run uses.
 func (e *Exec) Run(policy sched.Policy, plan sched.CrashPlan) sched.Result {
@@ -611,11 +618,14 @@ func (e *Exec) Result() sched.Result {
 	return res
 }
 
-// stateMirror is the hash-relevant half of sched's stateLayer: register
+// stateMirror is sched's stateLayer without the undo log: register
 // registration in first-write-grant order and the incremental 128-bit state
-// hash. vexec has no Restore, so no undo log is kept — StateHash parity with
-// the goroutine engine is the whole point (the differential tests compare
-// hashes at every decision point of scalar-register runs).
+// hash, bit-identical to the goroutine engine's by construction (the
+// differential tests compare hashes at every decision point of
+// scalar-register runs). Restore (state.go) needs no undo log because a
+// frame machine's state is plain data: a checkpoint copies every registered
+// cell's CellState outright, and cells registered later rewind to the
+// pre-image captured at registration.
 type stateMirror struct {
 	enabled bool
 	regID   map[any]int
@@ -627,6 +637,10 @@ type stateMirror struct {
 type regCell struct {
 	cell shmem.StateCell
 	init uint64
+	// initState is the full pre-image at registration (the state before any
+	// write grant touched the cell): what Restore rewinds to for cells
+	// registered after the snapshot being restored was taken.
+	initState shmem.CellState
 }
 
 type pendingWrite struct {
@@ -677,7 +691,9 @@ func (e *Exec) stateBeforeGrant(pid, k int, crash bool) {
 	if !seen {
 		id = len(e.st.cells)
 		e.st.regID[in.Reg] = id
-		e.st.cells = append(e.st.cells, regCell{cell: cell, init: cell.StateWord()})
+		rc := regCell{cell: cell, init: cell.StateWord()}
+		cell.StateInto(&rc.initState)
+		e.st.cells = append(e.st.cells, rc)
 	}
 	e.st.pending = pendingWrite{active: true, id: id, preWord: cell.StateWord()}
 }
