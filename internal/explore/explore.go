@@ -90,6 +90,14 @@ type Stats struct {
 	// Deduped counts nodes cut because their full state (registers + process
 	// local states, by 128-bit hash) had already been exhaustively explored.
 	Deduped int
+	// RaceEvents counts happens-before rows derived by race analysis
+	// (source-DPOR only): the incremental layer derives one row per distinct
+	// trace event, the rebuild reference re-derives every row of the whole
+	// trace at every backtrack — the gap is the work the layer saves.
+	RaceEvents int
+	// RaceNs is wall-clock nanoseconds spent in race analysis (source-DPOR
+	// only). Timing, not tree shape: determinism comparisons must ignore it.
+	RaceNs int64
 	// Complete reports that the strategy exhausted its search space: every
 	// schedule (modulo commuting-grant equivalence) has been covered. Only
 	// the tree strategies can set it; budget exhaustion leaves it false.

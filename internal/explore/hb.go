@@ -1,0 +1,288 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/shmem"
+)
+
+// This file is the incremental happens-before layer behind SourceDPOR's race
+// analysis. The former path (raceScratch.prepare, kept as the RaceRebuild
+// reference) re-derived the whole relation from the trace at every backtrack:
+// O(L²·words) bit work per explored leaf, which BENCH_PR8 measured at ~40% of
+// a stateful walk — engine-independent, so the vexec engine swap could not
+// touch it. Here the relation is first-class search state instead: one packed
+// row per trace event, appended as the DFS commits grants and truncated to
+// the restored frame's watermark on backtrack, exactly like the engines
+// truncate their recorded trace on Restore. Each updateRaces call then
+// analyzes only the suffix since the last one.
+//
+// Correctness hinges on two facts, both exercised by RaceDifferential and the
+// FuzzIncrementalHB arm:
+//
+//   - Spanning edges suffice. An event's row is the union of the rows (plus
+//     the events themselves) of: its process's previous event, the register's
+//     last write, and — for a write — the reads of the register since that
+//     write. Every direct dependence edge of the full relation (same process,
+//     or same register with a write involved) is reachable through these:
+//     earlier same-process events chain through the previous one; earlier
+//     writes chain through the last write; earlier reads are direct edges of
+//     the first write after them, which is in the last write's causal past.
+//     So the rows are bit-identical to prepare's full all-pairs pass.
+//
+//   - Re-analyzing an old pair is a no-op. Backtrack-set bits are monotone
+//     over a frame's lifetime, and addSource adds nothing once a weak initial
+//     of the race is scheduled or done — so the pairs (i, j) with j below the
+//     watermark, analyzed by an earlier call against the same frames, need
+//     not be revisited: the rebuild path revisits them and provably changes
+//     nothing (the differential mode re-runs it to assert exactly that).
+
+// RaceAnalysis selects how SourceDPOR derives the race relation feeding its
+// backtrack sets. All modes produce identical backtrack sets and therefore
+// identical walks; they differ only in how much work each backtrack costs.
+type RaceAnalysis int
+
+const (
+	// RaceIncremental (the default) maintains per-event happens-before rows
+	// and per-process/per-register frontiers across backtracks, truncated by
+	// watermark alongside the engine's own trace buffer on Restore.
+	RaceIncremental RaceAnalysis = iota
+	// RaceRebuild re-derives the relation from the whole trace at every
+	// backtrack — the pre-incremental path, kept as the reference
+	// implementation the differential suite measures and checks against.
+	RaceRebuild
+	// RaceDifferential runs both on every backtrack and panics on any
+	// divergence, in the backtrack sets or in the relation's rows. Testing
+	// only: it does strictly more work than either mode alone.
+	RaceDifferential
+)
+
+func (m RaceAnalysis) String() string {
+	switch m {
+	case RaceIncremental:
+		return "incremental"
+	case RaceRebuild:
+		return "rebuild"
+	case RaceDifferential:
+		return "differential"
+	default:
+		return fmt.Sprintf("RaceAnalysis(%d)", int(m))
+	}
+}
+
+// hbRel is the read surface the race scan and addSource consume — implemented
+// by both raceScratch (rebuild) and hbState (incremental), so one scan serves
+// both modes.
+type hbRel interface {
+	// eventRow returns event j's packed happens-before row.
+	eventRow(j int) []uint64
+	// coveredRow returns the scratch row (same width as event rows) the scan
+	// accumulates covering sets into.
+	coveredRow() []uint64
+	// depends reports a direct dependence edge m -> k of the digested trace.
+	depends(tr sched.Trace, m, k int) bool
+}
+
+// hbState is the incremental happens-before relation over the stateful
+// walk's in-flight trace. It mirrors the engines' trace buffers exactly:
+// extend digests the events the last dispatches appended, truncate rewinds to
+// the watermark a Restore rewound the trace to. The register intern table is
+// persistent for the whole walk — sound because the stateful drive builds its
+// engine once and never recycles it (see the prefix guard in extend).
+type hbState struct {
+	regKey map[any]int32 // register identity -> dense key, persistent per walk
+
+	// Per-event columns, parallel to the digested trace prefix [0, n).
+	keys   []int32  // register key; -1 for crash/restart events
+	writes []bool   // the access was a write
+	pids   []int32  // granted process
+	prevP  []int32  // previous event of the same process; -1 none
+	prevW  []int32  // writes only: previous write to the same register; -1 none
+	rows   []uint64 // n rows of width stride: row j = events happening-before j
+
+	// Frontiers, rewound through the prev chains on truncate.
+	lastEvt []int32   // per process: its latest event; -1 none
+	lastW   []int32   // per register key: latest write; -1 none
+	acc     [][]int32 // per register key: its accesses, in trace order
+
+	stride  int      // words per row (capacity; rows re-lay when n outgrows it)
+	n       int      // events digested
+	covered []uint64 // scratch row for the race scan
+}
+
+func (h *hbState) eventRow(j int) []uint64 { return h.rows[j*h.stride : (j+1)*h.stride] }
+func (h *hbState) coveredRow() []uint64    { return h.covered }
+
+// depends mirrors raceScratch.depends over the incremental columns.
+func (h *hbState) depends(tr sched.Trace, m, k int) bool {
+	if tr[m].Pid == tr[k].Pid {
+		return true
+	}
+	if h.keys[m] < 0 || h.keys[k] < 0 {
+		return false
+	}
+	return h.keys[m] == h.keys[k] && (h.writes[m] || h.writes[k])
+}
+
+// grow makes room for L events: per-event columns at length >= L, rows at
+// width >= (L+63)/64 words. Widening re-lays the digested rows into the new
+// stride; both growth directions are geometric so a whole walk amortizes to
+// O(1) per event.
+func (h *hbState) grow(L int) {
+	need := (L + 63) / 64
+	if need > h.stride {
+		ns := h.stride
+		if ns == 0 {
+			ns = 1
+		}
+		for ns < need {
+			ns *= 2
+		}
+		rows := make([]uint64, max(L, 2*h.n)*ns)
+		for j := 0; j < h.n; j++ {
+			copy(rows[j*ns:j*ns+h.stride], h.rows[j*h.stride:(j+1)*h.stride])
+		}
+		h.rows = rows
+		h.stride = ns
+		h.covered = make([]uint64, ns)
+	}
+	if len(h.rows) < L*h.stride {
+		rows := make([]uint64, 2*L*h.stride)
+		copy(rows, h.rows[:h.n*h.stride])
+		h.rows = rows
+	}
+	if len(h.keys) < L {
+		grow := L - len(h.keys)
+		h.keys = append(h.keys, make([]int32, grow)...)
+		h.writes = append(h.writes, make([]bool, grow)...)
+		h.pids = append(h.pids, make([]int32, grow)...)
+		h.prevP = append(h.prevP, make([]int32, grow)...)
+		h.prevW = append(h.prevW, make([]int32, grow)...)
+	}
+}
+
+// extend digests tr's new suffix [h.n, len(tr)), building each event's row
+// from its spanning direct edges and advancing the frontiers.
+func (h *hbState) extend(tr sched.Trace) {
+	L := len(tr)
+	if h.n > L {
+		panic(fmt.Sprintf("explore: happens-before layer holds %d events but the trace has %d — truncate missed a backtrack", h.n, L))
+	}
+	if h.regKey == nil {
+		h.regKey = make(map[any]int32)
+	}
+	h.assertPrefix(tr)
+	h.grow(L)
+	for j := h.n; j < L; j++ {
+		e := tr[j]
+		row := h.eventRow(j)
+		clear(row)
+		pid := e.Pid
+		for pid >= len(h.lastEvt) {
+			h.lastEvt = append(h.lastEvt, -1)
+		}
+		h.pids[j] = int32(pid)
+		h.prevP[j] = h.lastEvt[pid]
+		if p := h.lastEvt[pid]; p >= 0 {
+			rowOr(row, h.eventRow(int(p)))
+			rowSet(row, int(p))
+		}
+		if e.Crash || e.Restart {
+			// Crashes and restarts touch no register: program order only.
+			h.keys[j], h.writes[j], h.prevW[j] = -1, false, -1
+		} else {
+			k, ok := h.regKey[e.Reg]
+			if !ok {
+				k = int32(len(h.regKey))
+				h.regKey[e.Reg] = k
+			}
+			for int(k) >= len(h.acc) {
+				h.acc = append(h.acc, nil)
+				h.lastW = append(h.lastW, -1)
+			}
+			h.keys[j] = k
+			w := e.Op == shmem.OpWrite
+			h.writes[j] = w
+			lw := h.lastW[k]
+			if lw >= 0 {
+				rowOr(row, h.eventRow(int(lw)))
+				rowSet(row, int(lw))
+			}
+			if w {
+				// A write also races the reads since that last write; reads
+				// before it are already in its causal past.
+				a := h.acc[k]
+				for t := len(a) - 1; t >= 0 && a[t] > lw; t-- {
+					m := int(a[t])
+					rowOr(row, h.eventRow(m))
+					rowSet(row, m)
+				}
+				h.prevW[j] = lw
+				h.lastW[k] = int32(j)
+			} else {
+				h.prevW[j] = -1
+			}
+			h.acc[k] = append(h.acc[k], int32(j))
+		}
+		h.lastEvt[pid] = int32(j)
+	}
+	h.n = L
+}
+
+// assertPrefix is the cross-reset differential guard: the suffix contract
+// says events [0, h.n) are exactly the ones digested earlier, which only
+// holds while the walk drives one engine instance. An engine recycled
+// mid-walk (Exec.Reset hands out fresh register objects from the new
+// instance) or a diverged replay surfaces as a mismatch at the boundary
+// event rather than as silently split register keys masking races.
+func (h *hbState) assertPrefix(tr sched.Trace) {
+	if h.n == 0 {
+		return
+	}
+	j := h.n - 1
+	e := tr[j]
+	key := int32(-1)
+	if !e.Crash && !e.Restart {
+		k, ok := h.regKey[e.Reg]
+		if !ok {
+			k = -2 // never-interned identity: cannot match any digested key
+		}
+		key = k
+		if (e.Op == shmem.OpWrite) != h.writes[j] {
+			panic(fmt.Sprintf("explore: happens-before prefix diverged at event %d: op changed under the layer", j))
+		}
+	}
+	if int32(e.Pid) != h.pids[j] || key != h.keys[j] {
+		panic(fmt.Sprintf("explore: happens-before prefix diverged at event %d (pid %d key %d, digested pid %d key %d) — engine recycled mid-walk?",
+			j, e.Pid, key, h.pids[j], h.keys[j]))
+	}
+}
+
+// truncate rewinds the relation to w events — the watermark of the frame the
+// walk just restored to — by walking the removed events newest-first and
+// popping each one off its frontiers through the prev chains. Rows need no
+// clearing; extend clears on append. A watermark at or past the digested
+// prefix is a no-op (the layer may lag the trace when analysis was skipped on
+// a sub-2-event execution).
+func (h *hbState) truncate(w int) {
+	if w < 0 {
+		panic(fmt.Sprintf("explore: happens-before truncate to %d", w))
+	}
+	for j := h.n - 1; j >= w; j-- {
+		h.lastEvt[h.pids[j]] = h.prevP[j]
+		if k := h.keys[j]; k >= 0 {
+			a := h.acc[k]
+			if a[len(a)-1] != int32(j) {
+				panic(fmt.Sprintf("explore: happens-before access stack corrupt at event %d", j))
+			}
+			h.acc[k] = a[:len(a)-1]
+			if h.writes[j] {
+				h.lastW[k] = h.prevW[j]
+			}
+		}
+	}
+	if w < h.n {
+		h.n = w
+	}
+}

@@ -138,6 +138,8 @@ func DriveParallel(spec ParallelSpec) Stats {
 				total.Restored += st.Restored
 				total.Pruned += st.Pruned
 				total.Deduped += st.Deduped
+				total.RaceEvents += st.RaceEvents
+				total.RaceNs += st.RaceNs
 				total.Complete = total.Complete && st.Complete
 				mu.Unlock()
 			}

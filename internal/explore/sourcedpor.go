@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/shmem"
@@ -49,7 +50,11 @@ type SourceDPOR struct {
 	abandoned bool
 	rootPin   *Choice
 	table     map[[2]uint64][]closedRec
-	scratch   raceScratch
+	race      RaceAnalysis
+	hb        hbState     // incremental happens-before layer (RaceIncremental)
+	scratch   raceScratch // from-scratch reference (RaceRebuild)
+	diffSave  []uint64    // RaceDifferential: btStep snapshots across the two runs
+	diffRef   []uint64
 	stats     Stats
 }
 
@@ -122,6 +127,16 @@ func NewSourceDPOR(seed uint64, budget, maxCrashes int) *SourceDPOR {
 // the search degenerates to pure source-DPOR). Returns the receiver.
 func (t *SourceDPOR) DisableDedup() *SourceDPOR {
 	t.dedup = false
+	return t
+}
+
+// SetRaceAnalysis selects the race-analysis implementation (the zero value,
+// RaceIncremental, is the default). Every mode yields the same backtrack sets
+// and the same walk; RaceRebuild re-derives the relation per backtrack (the
+// measured reference), RaceDifferential runs both and panics on divergence.
+// Returns the receiver.
+func (t *SourceDPOR) SetRaceAnalysis(m RaceAnalysis) *SourceDPOR {
+	t.race = m
 	return t
 }
 
@@ -300,6 +315,17 @@ func (t *SourceDPOR) BacktrackState(c sched.StateEngine, tr sched.Trace, res sch
 		t.stack = t.stack[:i+1]
 		c.Restore(f.snap, reset)
 		t.stats.Restored++
+		if t.race != RaceRebuild {
+			// Frame i's checkpoint was taken at trace length i, and Restore
+			// truncated the engine's trace buffer to that watermark; rewind
+			// the happens-before layer in lockstep. The TraceLen cross-check
+			// ties the layer's watermark to the engine's actual cursor — a
+			// frame/trace misalignment would silently corrupt the relation.
+			if got := c.TraceLen(); got != i {
+				panic(fmt.Sprintf("explore: engine trace holds %d events after restoring frame %d", got, i))
+			}
+			t.hb.truncate(i)
+		}
 		pickNext(&f.frame)
 		t.resumeAt = i
 		return true
@@ -398,6 +424,12 @@ func growClear[T any](buf []T, n int) []T {
 
 // bit helpers over packed rows of width s.words.
 func (s *raceScratch) row(r []uint64, j int) []uint64 { return r[j*s.words : (j+1)*s.words] }
+
+// raceScratch implements hbRel so the shared race scan runs over either the
+// from-scratch relation or the incremental layer.
+func (s *raceScratch) eventRow(j int) []uint64 { return s.row(s.hb, j) }
+func (s *raceScratch) coveredRow() []uint64    { return s.covered[:s.words] }
+
 func rowGet(row []uint64, i int) bool                 { return row[i>>6]&(1<<(uint(i)&63)) != 0 }
 func rowSet(row []uint64, i int)                      { row[i>>6] |= 1 << (uint(i) & 63) }
 func rowOr(dst, src []uint64) {
@@ -458,39 +490,114 @@ func (s *raceScratch) depends(tr sched.Trace, m, k int) bool {
 	return s.keys[m] == s.keys[k] && (s.writes[m] || s.writes[k])
 }
 
-// updateRaces grows backtrack sets from the executed trace with source sets.
-// A race is a DIRECT happens-before edge between events of different
-// processes: i in hb[j] but not covered by any intermediate event of hb[j]
-// (non-direct dependent pairs are reached inductively through the direct
-// ones — the classic DPOR race relation). For each race (i, j) the weak
-// initials of v = notdep(e_i)·e_j — the processes able to start an
-// execution from e_i's node that still reaches the race — are computed, and
-// ONE is scheduled at frame i, unless the frame's backtrack-or-done set
-// already intersects them (then the race is already covered).
+// updateRaces grows backtrack sets from the executed trace with source sets,
+// dispatching to the configured race-analysis implementation (see
+// RaceAnalysis) and accounting the work: RaceEvents counts the
+// happens-before rows derived — the whole trace per leaf for the rebuild
+// reference, only the new suffix for the incremental layer.
 func (t *SourceDPOR) updateRaces(tr sched.Trace) {
 	L := len(tr)
+	// The trace can never outrun the frame stack: Next pushes exactly one
+	// frame per node it opens, every dispatched choice (step, stale variant,
+	// crash, restart) appends exactly one trace event against that node's
+	// frame, and the two choices that append nothing (Halt, and the Abandon
+	// of a dedup cut or sleep-blocked node) push no frame or leave theirs
+	// undispatched on top. So len(stack) >= L always — the stack runs one
+	// PAST the trace when the top frame's choice was Halt. The former clamp
+	// here (L = min(L, len(stack))) guarded the impossible direction by
+	// silently dropping trailing events from race analysis; make any future
+	// regression loud instead. Pinned by TestTraceNeverOutrunsStack.
 	if L > len(t.stack) {
-		L = len(t.stack)
+		panic(fmt.Sprintf("explore: trace (%d events) outran the frame stack (%d frames)", L, len(t.stack)))
 	}
-	if L < 2 {
-		return
+	start := time.Now()
+	switch t.race {
+	case RaceRebuild:
+		if L >= 2 {
+			t.scratch.prepare(tr)
+			t.stats.RaceEvents += L
+			t.scanRaces(tr, &t.scratch, 1, L)
+		}
+	case RaceDifferential:
+		t.updateRacesDiff(tr)
+	default:
+		watermark := t.hb.n
+		t.hb.extend(tr)
+		t.stats.RaceEvents += L - watermark
+		t.scanRaces(tr, &t.hb, watermark, L)
 	}
-	s := &t.scratch
-	s.prepare(tr)
-	for j := 1; j < L; j++ {
+	t.stats.RaceNs += time.Since(start).Nanoseconds()
+}
+
+// updateRacesDiff is the RaceDifferential body: run the from-scratch
+// reference against the current backtrack sets, capture what it produced,
+// rewind, run the incremental layer for real, and require bit-identical
+// backtrack sets and bit-identical relation rows. The rebuild pass also
+// re-analyzes every pair below the incremental watermark — asserting, on
+// every backtrack of every fuzzed walk, that re-analysis is the no-op the
+// incremental mode's suffix skip claims it is.
+func (t *SourceDPOR) updateRacesDiff(tr sched.Trace) {
+	L := len(tr)
+	t.diffSave = growClear(t.diffSave, L)
+	for i := 0; i < L; i++ {
+		t.diffSave[i] = t.stack[i].btStep
+	}
+	if L >= 2 {
+		t.scratch.prepare(tr)
+		t.scanRaces(tr, &t.scratch, 1, L)
+	}
+	t.diffRef = growClear(t.diffRef, L)
+	for i := 0; i < L; i++ {
+		t.diffRef[i] = t.stack[i].btStep
+		t.stack[i].btStep = t.diffSave[i]
+	}
+	watermark := t.hb.n
+	t.hb.extend(tr)
+	t.stats.RaceEvents += L - watermark
+	t.scanRaces(tr, &t.hb, watermark, L)
+	for i := 0; i < L; i++ {
+		if t.stack[i].btStep != t.diffRef[i] {
+			panic(fmt.Sprintf("explore: race-analysis divergence at frame %d: incremental btStep %b, rebuild %b (watermark %d, trace %d)",
+				i, t.stack[i].btStep, t.diffRef[i], watermark, L))
+		}
+	}
+	if L >= 2 {
+		for j := 0; j < L; j++ {
+			inc, ref := t.hb.eventRow(j), t.scratch.row(t.scratch.hb, j)
+			for i := 0; i < L; i++ {
+				if rowGet(inc, i) != rowGet(ref, i) {
+					panic(fmt.Sprintf("explore: happens-before divergence at pair (%d, %d): incremental %v, rebuild %v",
+						i, j, rowGet(inc, i), rowGet(ref, i)))
+				}
+			}
+		}
+	}
+}
+
+// scanRaces finds the races among the trace's direct (Hasse) happens-before
+// edges and feeds each to addSource. A race is a DIRECT edge between events
+// of different processes: i in hb[j] but not covered by any intermediate
+// event of hb[j] (non-direct dependent pairs are reached inductively through
+// the direct ones — the classic DPOR race relation). Only pairs whose later
+// event j lies in [from, L) are scanned: the caller passes 0 (or 1 — event 0
+// has no predecessors) to scan a whole trace, or the incremental watermark to
+// scan just the suffix the last call has not seen.
+func (t *SourceDPOR) scanRaces(tr sched.Trace, rel hbRel, from, L int) {
+	if from < 1 {
+		from = 1
+	}
+	for j := from; j < L; j++ {
 		if tr[j].Crash || tr[j].Restart {
 			continue // crashes and restarts commute with every other-process event
 		}
-		hbj := s.row(s.hb, j)
-		cov := s.covered[:s.words]
-		for w := range cov {
-			cov[w] = 0
-		}
+		hbj := rel.eventRow(j)
+		cov := rel.coveredRow()
+		clear(cov)
 		for w, word := range hbj {
 			for word != 0 {
 				m := w<<6 + trailingZeros(word)
 				word &= word - 1
-				rowOr(cov, s.row(s.hb, m))
+				rowOr(cov, rel.eventRow(m))
 			}
 		}
 		for w := range hbj {
@@ -499,7 +606,7 @@ func (t *SourceDPOR) updateRaces(tr sched.Trace) {
 				i := w<<6 + trailingZeros(direct)
 				direct &= direct - 1
 				if tr[i].Pid != tr[j].Pid && !tr[i].Crash && !tr[i].Restart {
-					t.addSource(i, j, tr)
+					t.addSource(i, j, tr, rel)
 				}
 			}
 		}
@@ -509,13 +616,12 @@ func (t *SourceDPOR) updateRaces(tr sched.Trace) {
 // addSource schedules one weak initial of v = notdep(i, tr)·tr[j] at frame
 // i. Events happening-after tr[i] are not in v — except tr[j] itself, which
 // is in v by construction.
-func (t *SourceDPOR) addSource(i, j int, tr sched.Trace) {
+func (t *SourceDPOR) addSource(i, j int, tr sched.Trace, rel hbRel) {
 	if t.rootPin != nil && i == 0 {
 		return // root choices are owned by the shard partition
 	}
 	f := &t.stack[i]
-	s := &t.scratch
-	inV := func(k int) bool { return k == j || !rowGet(s.row(s.hb, k), i) }
+	inV := func(k int) bool { return k == j || !rowGet(rel.eventRow(k), i) }
 	var initials uint64
 	for k := i + 1; k <= j; k++ {
 		if !inV(k) {
@@ -527,7 +633,7 @@ func (t *SourceDPOR) addSource(i, j int, tr sched.Trace) {
 		// anything after them would too).
 		first := true
 		for m := i + 1; m < k; m++ {
-			if inV(m) && s.depends(tr, m, k) {
+			if inV(m) && rel.depends(tr, m, k) {
 				first = false
 				break
 			}
@@ -540,14 +646,26 @@ func (t *SourceDPOR) addSource(i, j int, tr sched.Trace) {
 		panic(fmt.Sprintf("explore: race (%d,%d) with empty initials", i, j))
 	}
 	if (f.btStep|f.doneStep)&initials != 0 {
-		return // an initial is already scheduled or explored: race covered
+		// An initial is already scheduled or explored: race covered. This
+		// includes an initial mid-way through pickNext's stale-variant loop —
+		// such a pid sits in btStep with doneStep clear until its last
+		// variant, and scheduling the pid explores every variant, so the
+		// race's source-set obligation (some initial scheduled at this node)
+		// is met without a second bit.
+		return
 	}
 	if en := initials & f.enabled; en != 0 {
 		f.btStep |= en & (-en)
 	} else {
-		// No initial is enabled at the node (its first operation surfaces
-		// deeper): fall back to scheduling every enabled process — the sound
-		// over-approximation the stateless engine always uses.
+		// No initial is enabled at the node: fall back to scheduling every
+		// enabled process — the sound over-approximation the stateless
+		// engine always uses. This branch cannot fire while an initial is
+		// done or mid-variant-loop: btStep and doneStep only ever hold
+		// enabled pids, so an empty initials∩enabled implies the covered
+		// check above already saw nothing. A disabled initial itself is only
+		// reachable under the recovery model (the pid was crashed at this
+		// node and restarted before its contribution to v) — pinned by
+		// TestSourceDPORWeakInitials{Stale,Recovery}.
 		f.btStep |= f.enabled
 	}
 }

@@ -132,10 +132,12 @@ func TestSourceDPORBudgetStops(t *testing.T) {
 	}
 }
 
-// TestSourceDPORDeterminism: two identical searches take identical stats.
+// TestSourceDPORDeterminism: two identical searches take identical stats
+// (RaceNs is wall-clock and excluded).
 func TestSourceDPORDeterminism(t *testing.T) {
 	_, a := driveTree(t, NewSourceDPOR(7, 0, 1), 3, raceSystem(3))
 	_, b := driveTree(t, NewSourceDPOR(7, 0, 1), 3, raceSystem(3))
+	a.RaceNs, b.RaceNs = 0, 0
 	if a != b {
 		t.Fatalf("source-DPOR search not deterministic: %+v vs %+v", a, b)
 	}

@@ -110,6 +110,38 @@ func (e Engine) String() string {
 	}
 }
 
+// RaceMode selects the source-DPOR race-analysis implementation (see
+// explore.RaceAnalysis). Every mode walks the same tree and produces the same
+// verdict; they differ in how much work each backtrack costs, and
+// RaceDifferential additionally cross-checks the two on every backtrack.
+type RaceMode int
+
+const (
+	// RaceIncremental (the default) maintains the happens-before relation
+	// incrementally across backtracks, truncated by watermark alongside the
+	// engine's checkpoint restores.
+	RaceIncremental RaceMode = iota
+	// RaceRebuild re-derives the relation from the whole trace at every
+	// backtrack — the measured reference the bench suite compares against.
+	RaceRebuild
+	// RaceDifferential runs both implementations on every backtrack and
+	// panics on any divergence. Testing only.
+	RaceDifferential
+)
+
+func (m RaceMode) String() string {
+	switch m {
+	case RaceIncremental:
+		return "incremental"
+	case RaceRebuild:
+		return "rebuild"
+	case RaceDifferential:
+		return "differential"
+	default:
+		return fmt.Sprintf("RaceMode(%d)", int(m))
+	}
+}
+
 // Options tunes a model-checking run.
 type Options struct {
 	// MaxCrashes caps crash branching: at every decision point with fewer
@@ -139,6 +171,10 @@ type Options struct {
 	Engine Engine
 	// Workers > 1 shards the root decisions across that many goroutines.
 	Workers int
+	// Race selects the source-DPOR race-analysis implementation; the zero
+	// value (RaceIncremental) is the default. Ignored by the stateless
+	// walkers.
+	Race RaceMode
 	// NoDedup disables state-hash dedup in the source-DPOR engine: a pure
 	// partial-order walk with no hashing anywhere in the proof. Dedup pays
 	// off on state-converging systems; on systems whose read histories never
@@ -162,6 +198,14 @@ type Report struct {
 	Replayed   int  // prefix grants re-executed (stateless engine only)
 	Restored   int  // checkpoint restores (stateful engine only)
 	Deduped    int  // nodes cut as already-explored states (stateful engine)
+	// RaceEvents counts happens-before rows derived by source-DPOR's race
+	// analysis — per-event with the incremental layer, per-trace-per-leaf
+	// with the rebuild reference — and RaceTime the wall-clock spent there.
+	// Both are work accounting, not tree shape: differential comparisons of
+	// Reports across engines or race modes must exclude RaceTime (timing)
+	// and, across race modes, RaceEvents (the gap is the point).
+	RaceEvents int
+	RaceTime   time.Duration
 	Complete   bool // the full tree was exhausted: the suite is proven at this n
 	Elapsed    time.Duration
 	// Violation is the first invariant failure, with the schedule that
@@ -306,6 +350,12 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 			if opt.NoDedup {
 				s.DisableDedup()
 			}
+			switch opt.Race {
+			case RaceRebuild:
+				s.SetRaceAnalysis(explore.RaceRebuild)
+			case RaceDifferential:
+				s.SetRaceAnalysis(explore.RaceDifferential)
+			}
 			return s
 		}
 	}
@@ -379,6 +429,8 @@ func Check(label string, new func() check.Renamer, n int, origs []int64, suite c
 	rep.Replayed = stats.Replayed
 	rep.Restored = stats.Restored
 	rep.Deduped = stats.Deduped
+	rep.RaceEvents = stats.RaceEvents
+	rep.RaceTime = time.Duration(stats.RaceNs)
 	rep.Complete = stats.Complete && rep.Violation == nil
 	rep.Elapsed = time.Since(start)
 	return rep

@@ -87,6 +87,13 @@ type SearchEngine interface {
 	EnableTrace()
 	Trace() Trace
 	TraceInto(buf Trace) Trace
+	// TraceLen returns the number of grant events currently recorded — the
+	// event cursor incremental layers above the engine (the source-DPOR
+	// happens-before relation) align their suffix watermarks against. A
+	// StateEngine's Restore truncates the recorded trace to the snapshot's
+	// watermark, so TraceLen after a restore reports the checkpoint-time
+	// length.
+	TraceLen() int
 	ApplyTrace(prefix Trace) error
 	Abort()
 }

@@ -586,6 +586,11 @@ func (e *Exec) TraceInto(buf sched.Trace) sched.Trace {
 	return append(buf[:0], e.traceBuf...)
 }
 
+// TraceLen returns the number of grant events currently recorded; after a
+// Restore it reports the restored snapshot's watermark, as
+// Controller.TraceLen.
+func (e *Exec) TraceLen() int { return len(e.traceBuf) }
+
 // Run drives the engine to completion — sched.DriveEngine over this engine,
 // the same loop Controller.Run uses.
 func (e *Exec) Run(policy sched.Policy, plan sched.CrashPlan) sched.Result {
