@@ -28,6 +28,13 @@
 // the firstfit fault fixture under each register/recovery model — the
 // search-tree price of stale-read and restart branching.
 //
+// The churn section runs unconditionally: streaming sessions through the
+// long-lived renaming service (internal/service) under the shipped churn
+// families — steady, spike arrivals, synchronized departures, and
+// crash-without-release — recording names/sec and acquire-latency quantiles
+// per engine, shard count and backend, with the >= 5x names/sec acceptance
+// bar on the best vectorized row against the goroutine oracle on full runs.
+//
 // With -adversary it additionally sweeps every shipped adversary family
 // (package adversary) over each core algorithm, recording the worst-case
 // observed per-process steps next to the paper's bound and the number of
@@ -312,6 +319,7 @@ type Report struct {
 	FaultCheck []FaultCheckEntry  `json:"fault_model_check"`
 	Engines    []EngineCheckEntry `json:"model_engines"`
 	HB         []HBCheckEntry     `json:"sourcedpor_hb"`
+	Churn      []ChurnEntry       `json:"churn"`
 	Adversary  []AdversaryEntry   `json:"adversary,omitempty"`
 	Strategies []StrategyEntry    `json:"strategies,omitempty"`
 	Parallel   []ParallelEntry    `json:"parallel_drive,omitempty"`
@@ -1310,8 +1318,8 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         9,
-		Suite:      "incremental happens-before for source-DPOR (per-grant race relation, watermark truncation)",
+		PR:         10,
+		Suite:      "long-lived renaming service (generations, lease reclaim, streaming churn on vexec)",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
@@ -1358,6 +1366,7 @@ func main() {
 	rep.FaultCheck = runFaultCheck()
 	rep.Engines = runModelEngines(*quick)
 	rep.HB = runSourceDPORHB(*quick)
+	rep.Churn = runChurn(*quick)
 	rep.Grid = runGrid(sizes, *runs)
 	if *adversarial {
 		advRuns := 32

@@ -1,0 +1,43 @@
+package adversary
+
+import "testing"
+
+// FuzzChurnWorkload fuzzes the long-lived service's lifecycle machinery: the
+// (family, algorithm, scale, seed) space of streaming runs, every input a
+// complete churn reproducer. The replay arms the full audit, so any
+// violation of live exclusivity, leak-free recycling, epoch monotonicity or
+// reclaim-once fails the fuzz with the one-line reproducer in the message.
+// Scales are clamped small — the fuzzer's job is lifecycle corners (tiny
+// generations, more lanes than sessions, crash cadence racing the recycle
+// path), not throughput.
+func FuzzChurnWorkload(f *testing.F) {
+	f.Add(uint64(1), 0, 0, 200, 8, 8)
+	f.Add(uint64(0x2a), 3, 0, 300, 8, 8)
+	f.Add(uint64(7), 1, 0, 150, 16, 4)
+	f.Add(uint64(0x5eed), 2, 0, 250, 4, 2)
+	f.Add(uint64(0xfa11), 3, 1, 60, 4, 6)
+	f.Add(uint64(0xbeef), 3, 0, 100, 32, 2)
+	f.Fuzz(func(t *testing.T, seed uint64, famIdx, algoIdx, sessions, lanes, cap int) {
+		fams := ChurnFamilies()
+		fam := fams[uint(famIdx)%uint(len(fams))]
+		algo := "firstfit"
+		scale := 1 + int(uint(sessions)%400)
+		if uint(algoIdx)%2 == 1 {
+			// The majority backend's acquire costs hundreds of grants; keep
+			// its fuzz cells small so the smoke budget buys many inputs.
+			algo = "majority"
+			scale = 1 + int(uint(sessions)%60)
+		}
+		rep := ChurnReproducer{
+			Algo:     algo,
+			Family:   fam.Name,
+			Sessions: int64(scale),
+			Lanes:    1 + int(uint(lanes)%32),
+			Cap:      2 + int(uint(cap)%8),
+			Seed:     seed,
+		}
+		if _, err := ReplayChurn(rep); err != nil {
+			t.Fatalf("churn invariant violated: %v", err)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// ev builds histories tersely in the tests below.
+func ev(op LLOp, shard int, epoch uint64, slot int, sid, name int64) LLEvent {
+	return LLEvent{Op: op, Shard: shard, Epoch: epoch, Slot: slot, Sid: sid, Name: name}
+}
+
+// goodHistory is a clean two-session history on one generation: both acquire,
+// both release, the generation quiesces and is recycled, a successor opens.
+func goodHistory() *LLRecord {
+	return &LLRecord{Events: []LLEvent{
+		ev(LLOpen, 0, 1, 0, 0, 0),
+		ev(LLJoin, 0, 1, 0, 1, 0),
+		ev(LLJoin, 0, 1, 1, 2, 0),
+		ev(LLIssue, 0, 1, 0, 1, 0x11),
+		ev(LLIssue, 0, 1, 1, 2, 0x12),
+		ev(LLRelease, 0, 1, 0, 1, 0),
+		ev(LLRelease, 0, 1, 1, 2, 0),
+		ev(LLRecycle, 0, 1, 0, 0, 0),
+		ev(LLOpen, 0, 2, 0, 0, 0),
+		ev(LLJoin, 0, 2, 0, 3, 0),
+		ev(LLIssue, 0, 2, 0, 3, 0x21),
+		ev(LLRelease, 0, 2, 0, 3, 0),
+	}}
+}
+
+func TestLLVerifierCleanHistory(t *testing.T) {
+	if err := LLCheckAll(goodHistory()); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+	for _, c := range LLAll() {
+		if err := c.Fn(goodHistory()); err != nil {
+			t.Fatalf("checker %s rejected clean history: %v", c.Name, err)
+		}
+	}
+}
+
+func TestLLVerifierCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		checker LLChecker
+		want    string // substring of the violation
+		events  []LLEvent
+	}{
+		{
+			name: "double-issue-same-name", checker: LLExclusive(), want: "live-exclusive",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+				ev(LLJoin, 0, 1, 1, 2, 0),
+				ev(LLIssue, 0, 1, 0, 1, 0x11),
+				ev(LLIssue, 0, 1, 1, 2, 0x11), // same packed name, first still live
+			},
+		},
+		{
+			name: "recycle-under-live-name", checker: LLNoLeak(), want: "no-leak",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+				ev(LLIssue, 0, 1, 0, 1, 0x11),
+				ev(LLRecycle, 0, 1, 0, 0, 0), // sid 1 still holds 0x11
+			},
+		},
+		{
+			name: "join-recycled-generation", checker: LLNoLeak(), want: "no-leak",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLRecycle, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+			},
+		},
+		{
+			name: "epoch-regression", checker: LLEpochMono(), want: "epoch-monotone",
+			events: []LLEvent{
+				ev(LLOpen, 0, 2, 0, 0, 0),
+				ev(LLOpen, 0, 2, 0, 0, 0), // not strictly increasing
+			},
+		},
+		{
+			name: "reclaim-released-session", checker: LLReclaimOnce(), want: "reclaim-once",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+				ev(LLIssue, 0, 1, 0, 1, 0x11),
+				ev(LLRelease, 0, 1, 0, 1, 0),
+				{Op: LLReclaim, Sid: 1, Held: true},
+			},
+		},
+		{
+			name: "double-reclaim", checker: LLReclaimOnce(), want: "reclaim-once",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+				ev(LLIssue, 0, 1, 0, 1, 0x11),
+				{Op: LLReclaim, Sid: 1, Held: true},
+				{Op: LLReclaim, Sid: 1, Held: true},
+			},
+		},
+		{
+			name: "release-without-name", checker: LLLifecycle(), want: "lifecycle",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLJoin, 0, 1, 0, 1, 0),
+				ev(LLRelease, 0, 1, 0, 1, 0),
+			},
+		},
+		{
+			name: "issue-while-detached", checker: LLLifecycle(), want: "lifecycle",
+			events: []LLEvent{
+				ev(LLOpen, 0, 1, 0, 0, 0),
+				ev(LLIssue, 0, 1, 0, 1, 0x11),
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := &LLRecord{Events: tc.events}
+			err := tc.checker.Fn(r)
+			if err == nil {
+				t.Fatalf("checker %s missed the violation", tc.checker.Name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("checker %s reported %q, want invariant %q", tc.checker.Name, err, tc.want)
+			}
+			if LLCheckAll(r) == nil {
+				t.Fatal("LLCheckAll missed the violation")
+			}
+		})
+	}
+}
+
+// TestLLCheckerScoping: a checker stays silent when a *different* invariant
+// breaks first — its sibling owns that report.
+func TestLLCheckerScoping(t *testing.T) {
+	r := &LLRecord{Events: []LLEvent{
+		ev(LLOpen, 0, 1, 0, 0, 0),
+		ev(LLIssue, 0, 1, 0, 1, 0x11), // lifecycle violation, not exclusivity
+	}}
+	if err := LLExclusive().Fn(r); err != nil {
+		t.Fatalf("LLExclusive reported a lifecycle violation: %v", err)
+	}
+	if err := LLLifecycle().Fn(r); err == nil {
+		t.Fatal("LLLifecycle missed its own violation")
+	}
+}
+
+func TestLLVerifierLiveNames(t *testing.T) {
+	var v LLVerifier
+	must := func(e LLEvent) {
+		t.Helper()
+		if err := v.Apply(e); err != nil {
+			t.Fatalf("apply %s: %v", e, err)
+		}
+	}
+	must(ev(LLOpen, 0, 1, 0, 0, 0))
+	must(ev(LLJoin, 0, 1, 0, 1, 0))
+	must(ev(LLJoin, 0, 1, 1, 2, 0))
+	must(ev(LLIssue, 0, 1, 0, 1, 0x11))
+	must(ev(LLIssue, 0, 1, 1, 2, 0x12))
+	if got := v.LiveNames(); got != 2 {
+		t.Fatalf("LiveNames = %d, want 2", got)
+	}
+	must(ev(LLRelease, 0, 1, 0, 1, 0))
+	must(LLEvent{Op: LLReclaim, Sid: 2, Held: true})
+	if got := v.LiveNames(); got != 0 {
+		t.Fatalf("LiveNames after release+reclaim = %d, want 0", got)
+	}
+}

@@ -72,6 +72,19 @@ func (f *Field) Pair(i int) *Pair { return &f.pairs[i] }
 // Registers returns the number of shared registers the field occupies.
 func (f *Field) Registers() int { return 2 * len(f.pairs) }
 
+// Reset rewinds every pair to the fresh Null state via direct pokes. It is a
+// harness-level recycling operation, not a register access: no steps are
+// charged and no process may be mid-competition on the field when it runs.
+// The long-lived service layer calls it only at generation quiescence (no
+// attached session can still read or write these registers), which is what
+// makes the poke equivalent to allocating a fresh field.
+func (f *Field) Reset() {
+	for i := range f.pairs {
+		f.pairs[i].H.Poke(shmem.Null)
+		f.pairs[i].R.Poke(shmem.Null)
+	}
+}
+
 // Claimed returns the set of (index, last-claim-id) pairs whose R register is
 // non-null. Harness use only; see Pair.LastClaim for why the id may be a
 // loser's.

@@ -40,3 +40,9 @@ func (ff *FirstFit) MaxName() int64 { return int64(ff.field.Len()) }
 
 // Registers returns the number of shared registers the field occupies.
 func (ff *FirstFit) Registers() int { return ff.field.Registers() }
+
+// Recycle rewinds the instance to its freshly constructed state (all pairs
+// Null) without reallocating. Harness-level: callers must guarantee no
+// process is mid-scan — the long-lived service recycles an instance only
+// once its generation is quiescent.
+func (ff *FirstFit) Recycle() { ff.field.Reset() }

@@ -54,9 +54,12 @@ func (f *CompeteFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 	}
 }
 
-// firstFitFrame is the frame compilation of FirstFit.Rename: competitions on
-// pairs 0,1,2,... in order, claiming the first one won.
-type firstFitFrame struct {
+// FirstFitFrame is the frame compilation of FirstFit.Rename: competitions on
+// pairs 0,1,2,... in order, claiming the first one won. The type is exported
+// so long-lived harnesses can embed one per lane and re-arm it between
+// sessions (Init) instead of allocating a frame per acquire — the zero
+// steady-state allocation contract of the service driver.
+type FirstFitFrame struct {
 	ff      *FirstFit
 	id      int64
 	i       int
@@ -64,14 +67,22 @@ type firstFitFrame struct {
 	entered bool
 }
 
+// Init re-arms the frame for one scan of ff with identity id, exactly as
+// FrameRename would construct it.
+func (f *FirstFitFrame) Init(ff *FirstFit, id int64) {
+	*f = FirstFitFrame{ff: ff, id: id}
+}
+
 // FrameRename compiles Rename(p, orig) into a frame automaton.
 func (ff *FirstFit) FrameRename(orig int64) vexec.Frame {
-	return &firstFitFrame{ff: ff, id: orig}
+	f := &FirstFitFrame{}
+	f.Init(ff, orig)
+	return f
 }
 
 var _ vexec.FrameRenamer = (*FirstFit)(nil)
 
-func (f *firstFitFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+func (f *FirstFitFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 	if f.entered {
 		if m.RetB {
 			return m.Return(int64(f.i+1), true)

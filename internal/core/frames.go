@@ -16,9 +16,11 @@ import (
 	"repro/internal/vexec"
 )
 
-// majorityFrame compiles Majority.Rename: a competition per expander
-// neighbor of the original name, in neighbor order.
-type majorityFrame struct {
+// MajorityFrame compiles Majority.Rename: a competition per expander
+// neighbor of the original name, in neighbor order. The type is exported so
+// long-lived harnesses can embed one per lane and re-arm it between sessions
+// (Init) instead of allocating a frame per acquire.
+type MajorityFrame struct {
 	ma      *Majority
 	orig    int64
 	i       int
@@ -27,18 +29,20 @@ type majorityFrame struct {
 	entered bool
 }
 
-func (f *majorityFrame) init(ma *Majority, orig int64) {
-	*f = majorityFrame{ma: ma, orig: orig}
+// Init re-arms the frame for one walk of ma with original name orig, exactly
+// as FrameRename would construct it.
+func (f *MajorityFrame) Init(ma *Majority, orig int64) {
+	*f = MajorityFrame{ma: ma, orig: orig}
 }
 
 // FrameRename implements vexec.FrameRenamer.
 func (ma *Majority) FrameRename(orig int64) vexec.Frame {
-	f := &majorityFrame{}
-	f.init(ma, orig)
+	f := &MajorityFrame{}
+	f.Init(ma, orig)
 	return f
 }
 
-func (f *majorityFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
+func (f *MajorityFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 	if !f.entered {
 		if f.orig < 1 || f.orig > int64(f.ma.graph.N) {
 			panic(fmt.Sprintf("core: original name %d outside [1..%d]", f.orig, f.ma.graph.N))
@@ -64,7 +68,7 @@ type basicFrame struct {
 	b       *Basic
 	orig    int64
 	s       int
-	mf      majorityFrame
+	mf      MajorityFrame
 	entered bool
 }
 
@@ -90,7 +94,7 @@ func (f *basicFrame) Run(m *vexec.M, p *shmem.Proc) vexec.Status {
 	if f.s >= len(f.b.stages) {
 		return m.Return(0, false)
 	}
-	f.mf.init(f.b.stages[f.s], f.orig)
+	f.mf.Init(f.b.stages[f.s], f.orig)
 	return m.Call(&f.mf)
 }
 

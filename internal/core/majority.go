@@ -44,6 +44,12 @@ func (m *Majority) Registers() int { return m.field.Registers() }
 // competition over Δ neighbors.
 func (m *Majority) MaxSteps() int64 { return int64(5 * m.graph.Degree) }
 
+// Recycle rewinds the register field to its freshly constructed state while
+// keeping the (expensive) expander graph. Harness-level: no process may be
+// mid-walk — the long-lived service recycles an instance only once its
+// generation is quiescent.
+func (m *Majority) Recycle() { m.field.Reset() }
+
 // Rename implements Renamer. It is wait-free with at most MaxSteps() local
 // steps; failure (ok=false) means every neighbor competition was lost, which
 // Lemma 2 bounds to under half of any contender set of size <= ℓ.

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSteadyStateAllocs pins the tentpole's zero-steady-state-allocation
+// claim: once a vectorized driver is constructed, streaming sessions through
+// it allocates nothing per session — lanes recycle their retained frames,
+// generations come from the pool, and the histogram is fixed. The budget
+// below is a whole-run slack (runtime background noise), not a per-session
+// rate: at 30k sessions even one allocation per thousand sessions would
+// blow it.
+func TestSteadyStateAllocs(t *testing.T) {
+	svc := New(Config{Cap: 8, Algo: "firstfit", Seed: 21})
+	d := NewVexecDriver(svc, Workload{
+		Sessions: 30_000, Lanes: 16, Seed: 8,
+		HoldMin: 0, HoldMax: 10, MaxGrants: 50_000_000,
+	})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	m := d.Run()
+	runtime.ReadMemStats(&after)
+	if m.Acquired != 30_000 {
+		t.Fatalf("acquired %d, want 30000", m.Acquired)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	if allocs > 500 {
+		t.Fatalf("steady-state run allocated %d objects over 30k sessions — the zero-alloc hot path regressed", allocs)
+	}
+	t.Logf("30k sessions: %d allocations, %.0f names/sec", allocs, m.NamesPerSec)
+}

@@ -58,6 +58,9 @@ type Exec struct {
 	fp       uint64
 	grants   int64
 	root     func(p *shmem.Proc) Frame // retained for Restart's respawn
+	// laneRoot overrides root per lane once Relaunch has re-rooted it — the
+	// long-lived driver's session multiplexing. nil entries fall back to root.
+	laneRoot []func(p *shmem.Proc) Frame
 
 	tracing  bool
 	traceBuf sched.Trace
@@ -122,6 +125,7 @@ func (e *Exec) Reset(names []int64, root func(p *shmem.Proc) Frame) {
 		panic("vexec: names length must equal n")
 	}
 	e.root = root
+	e.laneRoot = nil
 	e.fp, e.grants, e.restarts = 0, 0, 0
 	e.npending = 0
 	e.model = shmem.Model{}
@@ -159,8 +163,46 @@ func (e *Exec) spawn(pid int) {
 	for i := range m.stack {
 		m.stack[i] = nil
 	}
-	m.stack = append(m.stack[:0], e.root(e.procs[pid]))
+	root := e.root
+	if e.laneRoot != nil && e.laneRoot[pid] != nil {
+		root = e.laneRoot[pid]
+	}
+	m.stack = append(m.stack[:0], root(e.procs[pid]))
 	e.advance(pid, 0)
+}
+
+// Relaunch re-roots a finished or crashed lane with a fresh root frame and
+// advances it to its first decision point — the long-lived driver's lane
+// recycling: one engine multiplexes a stream of sessions over a fixed lane
+// set, so steady-state execution allocates nothing per session (the root
+// builder can re-arm a retained frame). The lane's Proc identity, cumulative
+// step count and register handles persist; a crashed lane is re-rooted as a
+// fresh logical process on the same lane (its discarded intent stays
+// discarded). The new root also becomes the lane's respawn target for
+// Restart under a recovery model. Relaunch is a harness action, not a
+// scheduling decision: it folds nothing into the fingerprint and records no
+// trace event, so it is incompatible with state capture (EnableState panics
+// replay invariants would no longer hold).
+func (e *Exec) Relaunch(pid int, root func(p *shmem.Proc) Frame) {
+	if pid < 0 || pid >= e.n {
+		panic(fmt.Sprintf("vexec: Relaunch of process %d outside [0..%d)", pid, e.n))
+	}
+	if e.phase[pid] != phaseDone && e.phase[pid] != phaseCrashed {
+		panic(fmt.Sprintf("vexec: Relaunch(%d) of live process (phase %s)", pid, phaseName(e.phase[pid])))
+	}
+	if e.st.enabled {
+		panic("vexec: Relaunch under EnableState (relaunches are not replayable decisions)")
+	}
+	if e.laneRoot == nil {
+		e.laneRoot = make([]func(p *shmem.Proc) Frame, e.n)
+	}
+	e.laneRoot[pid] = root
+	e.phase[pid] = phaseRunning
+	e.err[pid] = nil
+	e.retI[pid], e.retB[pid] = 0, false
+	e.ms[pid].RetI, e.ms[pid].RetB = 0, false
+	e.ms[pid].intent = shmem.Intent{}
+	e.spawn(pid)
 }
 
 // advance runs lane pid's frames until the lane posts an intent (pending),

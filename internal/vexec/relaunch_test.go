@@ -1,0 +1,125 @@
+package vexec
+
+import (
+	"testing"
+
+	"repro/internal/shmem"
+)
+
+// writeFrame posts one write of val to reg, performs it, and finishes.
+type writeFrame struct {
+	reg *shmem.Reg
+	val int64
+	pc  uint8
+}
+
+func (f *writeFrame) Run(m *M, p *shmem.Proc) Status {
+	if f.pc == 0 {
+		f.pc = 1
+		return m.Intend(shmem.OpWrite, f.reg)
+	}
+	p.Write(f.reg, f.val)
+	return m.Return(f.val, true)
+}
+
+// TestRelaunchRecyclesLane drives a lane through three consecutive sessions
+// on one engine: steps accumulate on the Proc, each session's result is
+// observable at its completion, and the retained frame object can be re-armed
+// in place (zero-allocation recycling).
+func TestRelaunchRecyclesLane(t *testing.T) {
+	var reg shmem.Reg
+	fr := &writeFrame{}
+	root := func(val int64) func(p *shmem.Proc) Frame {
+		return func(p *shmem.Proc) Frame {
+			*fr = writeFrame{reg: &reg, val: val}
+			return fr
+		}
+	}
+	e := New(1, nil, root(10))
+	for k := int64(0); k < 3; k++ {
+		want := 10 * (k + 1)
+		if e.PendingCount() != 1 {
+			t.Fatalf("session %d: lane not pending", k)
+		}
+		e.Step(0)
+		if !e.Done(0) {
+			t.Fatalf("session %d: lane not done after its single write", k)
+		}
+		if got, ok := e.Returned(0); !ok || got != want {
+			t.Fatalf("session %d: returned (%d, %v), want (%d, true)", k, got, ok, want)
+		}
+		if reg.Peek() != want {
+			t.Fatalf("session %d: register holds %d, want %d", k, reg.Peek(), want)
+		}
+		if steps := e.Proc(0).Steps(); steps != k+1 {
+			t.Fatalf("session %d: cumulative steps %d, want %d", k, steps, k+1)
+		}
+		if k < 2 {
+			e.Relaunch(0, root(10*(k+2)))
+		}
+	}
+}
+
+// TestRelaunchAfterCrash re-roots a crashed lane as a fresh logical process:
+// the crashed session's posted write stays discarded, and the next session
+// runs normally on the same lane.
+func TestRelaunchAfterCrash(t *testing.T) {
+	var reg shmem.Reg
+	e := New(1, nil, func(p *shmem.Proc) Frame { return &writeFrame{reg: &reg, val: 7} })
+	e.Crash(0)
+	if !e.Crashed(0) {
+		t.Fatal("lane not crashed")
+	}
+	if reg.Peek() != shmem.Null {
+		t.Fatalf("crashed session's write applied: register holds %d", reg.Peek())
+	}
+	e.Relaunch(0, func(p *shmem.Proc) Frame { return &writeFrame{reg: &reg, val: 9} })
+	e.Step(0)
+	if got, ok := e.Returned(0); !ok || got != 9 {
+		t.Fatalf("relaunched session returned (%d, %v), want (9, true)", got, ok)
+	}
+	if reg.Peek() != 9 {
+		t.Fatalf("register holds %d after relaunched session, want 9", reg.Peek())
+	}
+}
+
+// TestRelaunchRestartUsesLaneRoot: under a recovery model, a crashed
+// relaunched lane restarts into its current session root, not the engine's
+// original root.
+func TestRelaunchRestartUsesLaneRoot(t *testing.T) {
+	var a, b shmem.Reg
+	e := New(1, nil, func(p *shmem.Proc) Frame { return &writeFrame{reg: &a, val: 1} })
+	e.SetModel(shmem.Model{Recovery: true, MaxRestarts: 2})
+	e.Step(0) // first session completes
+	e.Relaunch(0, func(p *shmem.Proc) Frame { return &writeFrame{reg: &b, val: 2} })
+	e.Crash(0)
+	e.Restart(0)
+	e.Step(0)
+	if b.Peek() != 2 {
+		t.Fatalf("restarted lane wrote b=%d, want 2 (lane root not respawned)", b.Peek())
+	}
+	if a.Peek() != 1 {
+		t.Fatalf("restart disturbed earlier session's register: a=%d", a.Peek())
+	}
+}
+
+func TestRelaunchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	var reg shmem.Reg
+	root := func(p *shmem.Proc) Frame { return &writeFrame{reg: &reg, val: 1} }
+	e := New(1, nil, root)
+	mustPanic("live lane", func() { e.Relaunch(0, root) })
+	mustPanic("out of range", func() { e.Relaunch(1, root) })
+	es := New(1, nil, root)
+	es.EnableState()
+	es.Step(0)
+	mustPanic("under EnableState", func() { es.Relaunch(0, root) })
+}
